@@ -1,0 +1,75 @@
+// Figure 8: fanin benchmark, varying processors and counter algorithm.
+//
+// Paper setup: n = 8M asyncs synchronizing at one finish block; algorithms
+// Fetch & Add, fixed SNZI depths 1..9, and the in-counter; metric is
+// operations per second per core (higher is better). Expected shape: FAA
+// best at 1 core and worst beyond; fixed SNZI improves with depth then
+// plateaus; the in-counter wins for >= 2 cores.
+//
+// Scale knobs: -n / SPDAG_N (leaf count, default 1<<17 for CI-sized runs;
+// paper used 8M), -proc / SPDAG_PROC (max workers), -runs / SPDAG_RUNS.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+#include "harness/workloads.hpp"
+#include "sched/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+#include "util/topology.hpp"
+
+namespace {
+
+using namespace spdag;
+
+void register_config(const std::string& algo, std::size_t workers,
+                     std::uint64_t n, int runs) {
+  const std::string name =
+      "fig08/fanin/" + algo + "/proc:" + std::to_string(workers);
+  benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+    runtime rt(runtime_config{workers, algo});
+    harness::fanin(rt, n);  // warm-up: pools, pages, calibration
+    for (auto _ : st) {
+      wall_timer t;
+      harness::fanin(rt, n);
+      st.SetIterationTime(t.elapsed_s());
+    }
+    const double ops = static_cast<double>(harness::counter_ops(n));
+    st.counters["ops/s"] = benchmark::Counter(
+        ops, benchmark::Counter::kIsIterationInvariantRate);
+    st.counters["ops/s/core"] = benchmark::Counter(
+        ops / static_cast<double>(workers),
+        benchmark::Counter::kIsIterationInvariantRate);
+  })
+      ->UseManualTime()
+      ->Iterations(runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts(argc, argv);
+  const auto common = harness::read_common(opts, /*default_n=*/1 << 17);
+
+  std::vector<std::string> algos{"faa"};
+  for (int d = 1; d <= 9; ++d) algos.push_back("snzi:" + std::to_string(d));
+  algos.push_back("dyn");
+
+  for (const auto& algo : algos) {
+    for (std::size_t p : harness::worker_sweep(common.max_proc)) {
+      register_config(algo, p, common.n, common.runs);
+    }
+  }
+
+  std::printf("# fig08: fanin, n=%llu, max_proc=%zu, runs=%d (paper: n=8M, 40 cores)\n",
+              static_cast<unsigned long long>(common.n), common.max_proc,
+              common.runs);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 9: fanin benchmark varying the number of operations n.
+//
+// Paper setup: in-counter only, n from ~2^16 up to 5e8, at core counts
+// {1, 10, 20, 30, 40}. The claim under test (Theorem 4.9 empirically): the
+// per-core throughput is essentially independent of n — within a factor 2 of
+// the single-core Fetch & Add counter for all sizes, dipping only when n is
+// too small to feed the cores.
+//
+// Scale knobs: -n / SPDAG_N sets the LARGEST n in the sweep (default 1<<19);
+// the sweep runs n, n/4, n/16, n/64. -proc / SPDAG_PROC, -runs / SPDAG_RUNS.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+#include "harness/workloads.hpp"
+#include "sched/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spdag;
+
+void register_config(std::size_t workers, std::uint64_t n, int runs) {
+  const std::string name = "fig09/fanin/dyn/proc:" + std::to_string(workers) +
+                           "/n:" + std::to_string(n);
+  benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+    runtime rt(runtime_config{workers, "dyn"});
+    harness::fanin(rt, n);
+    for (auto _ : st) {
+      wall_timer t;
+      harness::fanin(rt, n);
+      st.SetIterationTime(t.elapsed_s());
+    }
+    const double ops = static_cast<double>(harness::counter_ops(n));
+    st.counters["ops/s/core"] = benchmark::Counter(
+        ops / static_cast<double>(workers),
+        benchmark::Counter::kIsIterationInvariantRate);
+  })
+      ->UseManualTime()
+      ->Iterations(runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts(argc, argv);
+  const auto common = harness::read_common(opts, /*default_n=*/1 << 19);
+
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t n = common.n; n >= 1024 && sizes.size() < 4; n /= 4) {
+    sizes.push_back(n);
+  }
+  std::sort(sizes.begin(), sizes.end());
+
+  for (std::size_t p : harness::worker_sweep(common.max_proc, /*points=*/5)) {
+    for (std::uint64_t n : sizes) register_config(p, n, common.runs);
+  }
+
+  std::printf(
+      "# fig09: fanin size-invariance, n in {");
+  for (std::uint64_t n : sizes) std::printf(" %llu", static_cast<unsigned long long>(n));
+  std::printf(" }, max_proc=%zu (paper: n up to 5e8, 40 cores)\n", common.max_proc);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 10: indegree-2 benchmark, varying processors.
+//
+// Paper setup: n = 8M, algorithms Fetch & Add, fixed SNZI depths 2 and 4,
+// and the in-counter. Every pair of asyncs gets its own finish block, so the
+// cost under test is per-counter setup (where large fixed SNZI trees lose)
+// rather than contention on one counter. Expected shape: the in-counter is
+// within ~2x of the best performer (Fetch & Add); large fixed depths are
+// disproportionately slow.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+#include "harness/workloads.hpp"
+#include "sched/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spdag;
+
+void register_config(const std::string& algo, std::size_t workers,
+                     std::uint64_t n, int runs) {
+  const std::string name =
+      "fig10/indegree2/" + algo + "/proc:" + std::to_string(workers);
+  benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+    runtime rt(runtime_config{workers, algo});
+    harness::indegree2(rt, n);
+    for (auto _ : st) {
+      wall_timer t;
+      harness::indegree2(rt, n);
+      st.SetIterationTime(t.elapsed_s());
+    }
+    const double ops = static_cast<double>(harness::counter_ops(n));
+    st.counters["ops/s/core"] = benchmark::Counter(
+        ops / static_cast<double>(workers),
+        benchmark::Counter::kIsIterationInvariantRate);
+  })
+      ->UseManualTime()
+      ->Iterations(runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts(argc, argv);
+  const auto common = harness::read_common(opts, /*default_n=*/1 << 16);
+
+  // Paper Figure 10 legend: Fetch & Add, SNZI depth 2, SNZI depth 4,
+  // in-counter ("For SNZI, we only considered small-depths, since larger
+  // ones took too long to run").
+  const std::vector<std::string> algos{"faa", "snzi:2", "snzi:4", "dyn"};
+
+  for (const auto& algo : algos) {
+    for (std::size_t p : harness::worker_sweep(common.max_proc)) {
+      register_config(algo, p, common.n, common.runs);
+    }
+  }
+
+  std::printf("# fig10: indegree2, n=%llu, max_proc=%zu (paper: n=8M, 40 cores)\n",
+              static_cast<unsigned long long>(common.n), common.max_proc);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

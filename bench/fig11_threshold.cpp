@@ -1,0 +1,69 @@
+// Figure 11: the threshold study — fanin at max cores with the in-counter's
+// grow probability p = 1/threshold swept over the paper's bar chart values
+// {10, 50, 100, 500, 1000, 5000, 10000, 50000, 1000000}.
+//
+// Expected shape: a wide plateau — "essentially any threshold between 50 and
+// 1000 works well" — with degradation at the extremes (tiny thresholds
+// allocate too eagerly, huge thresholds degenerate toward a single cell).
+// This doubles as ablation A3 (grow-policy sweep): thresholds 0 (never grow)
+// and 1 (always grow, the analyzed setting) are included for completeness.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+#include "harness/workloads.hpp"
+#include "sched/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spdag;
+
+void register_config(std::uint64_t threshold, std::size_t workers,
+                     std::uint64_t n, int runs) {
+  const std::string algo = "dyn:" + std::to_string(threshold);
+  const std::string name = "fig11/fanin/threshold:" + std::to_string(threshold);
+  benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+    runtime rt(runtime_config{workers, algo});
+    harness::fanin(rt, n);
+    for (auto _ : st) {
+      wall_timer t;
+      harness::fanin(rt, n);
+      st.SetIterationTime(t.elapsed_s());
+    }
+    const double ops = static_cast<double>(harness::counter_ops(n));
+    st.counters["ops/s/core"] = benchmark::Counter(
+        ops / static_cast<double>(workers),
+        benchmark::Counter::kIsIterationInvariantRate);
+  })
+      ->UseManualTime()
+      ->Iterations(runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts(argc, argv);
+  const auto common = harness::read_common(opts, /*default_n=*/1 << 17);
+
+  // Paper's bar chart values, plus the 0/1 ablation endpoints.
+  const std::vector<std::uint64_t> thresholds{
+      0, 1, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 1000000};
+
+  for (std::uint64_t t : thresholds) {
+    register_config(t, common.max_proc, common.n, common.runs);
+  }
+
+  std::printf("# fig11: threshold study at proc=%zu, n=%llu "
+              "(paper: 40 cores, plateau for thresholds 50..1000)\n",
+              common.max_proc, static_cast<unsigned long long>(common.n));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

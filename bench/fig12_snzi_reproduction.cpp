@@ -1,0 +1,126 @@
+// Figure 12 (appendix C.1): reproduction of the ORIGINAL SNZI paper's
+// Figure 10 — p threads hammer arrive/depart pairs directly on a fixed-depth
+// SNZI tree (depths 1..5) versus a single fetch-and-add cell; throughput in
+// operations per second per core.
+//
+// This bypasses the sp-dag runtime entirely: it validates the raw SNZI
+// implementation the rest of the library builds on, exactly as the paper's
+// authors did before trusting their own SNZI port.
+//
+// Expected shape (paper appendix C.1): FAA is the worst performer beyond ~4
+// cores; the best fixed depth grows with the core count; on 40/48 cores the
+// best SNZI setting beats FAA by an order of magnitude.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+#include "snzi/fixed_tree.hpp"
+#include "util/cache_aligned.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/spin_barrier.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spdag;
+
+// Runs `threads` workers, each doing `pairs` arrive/depart pairs through
+// `op`, started simultaneously through a barrier. Returns elapsed seconds.
+template <typename PerThread>
+double hammer(std::size_t threads, PerThread&& per_thread) {
+  spin_barrier start(threads + 1);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      start.arrive_and_wait();
+      per_thread(t);
+    });
+  }
+  // Start the clock BEFORE releasing the barrier: on an oversubscribed host
+  // the last arriver may be a worker that runs to completion before this
+  // (preempted) thread is rescheduled, which would time nothing.
+  wall_timer timer;
+  start.arrive_and_wait();
+  for (auto& th : pool) th.join();
+  return timer.elapsed_s();
+}
+
+void register_snzi(int depth, std::size_t threads, std::uint64_t pairs_per_thread,
+                   int runs) {
+  const std::string name = "fig12/snzi_depth:" + std::to_string(depth) +
+                           "/proc:" + std::to_string(threads);
+  benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+    snzi::fixed_tree tree(depth);
+    for (auto _ : st) {
+      const double s = hammer(threads, [&](std::size_t tid) {
+        xoshiro256 rng(tid * 31 + 7);
+        for (std::uint64_t i = 0; i < pairs_per_thread; ++i) {
+          snzi::node* tok = tree.arrive(rng());
+          tree.depart(tok);
+        }
+      });
+      st.SetIterationTime(s);
+    }
+    const double ops = 2.0 * static_cast<double>(pairs_per_thread) *
+                       static_cast<double>(threads);
+    st.counters["ops/s/core"] = benchmark::Counter(
+        ops / static_cast<double>(threads),
+        benchmark::Counter::kIsIterationInvariantRate);
+  })
+      ->UseManualTime()
+      ->Iterations(runs);
+}
+
+void register_faa(std::size_t threads, std::uint64_t pairs_per_thread, int runs) {
+  const std::string name = "fig12/faa/proc:" + std::to_string(threads);
+  benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+    cache_aligned<std::atomic<std::int64_t>> cell{0};
+    for (auto _ : st) {
+      const double s = hammer(threads, [&](std::size_t) {
+        for (std::uint64_t i = 0; i < pairs_per_thread; ++i) {
+          cell.value.fetch_add(1, std::memory_order_seq_cst);
+          cell.value.fetch_sub(1, std::memory_order_seq_cst);
+        }
+      });
+      st.SetIterationTime(s);
+    }
+    const double ops = 2.0 * static_cast<double>(pairs_per_thread) *
+                       static_cast<double>(threads);
+    st.counters["ops/s/core"] = benchmark::Counter(
+        ops / static_cast<double>(threads),
+        benchmark::Counter::kIsIterationInvariantRate);
+  })
+      ->UseManualTime()
+      ->Iterations(runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts(argc, argv);
+  const auto common = harness::read_common(opts, /*default_n=*/1 << 16);
+
+  for (std::size_t p : harness::worker_sweep(common.max_proc)) {
+    const std::uint64_t pairs = common.n / p;
+    register_faa(p, pairs, common.runs);
+    for (int depth = 1; depth <= 5; ++depth) {
+      register_snzi(depth, p, pairs, common.runs);
+    }
+  }
+
+  std::printf("# fig12: raw SNZI reproduction (orig. SNZI paper Fig 10), "
+              "n=%llu total pairs, max_proc=%zu\n",
+              static_cast<unsigned long long>(common.n), common.max_proc);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 14 (appendix C.3): the granularity study — fanin with per-leaf
+// dummy work swept from ~1ns to ~10us, reporting the SPEEDUP of the
+// in-counter (and SNZI depth=9) over the Fetch & Add cell at max cores.
+//
+// Expected shape: large speedups at fine granularity (the counter is the
+// bottleneck), converging toward 1x once each task carries >= ~100us of real
+// work; still a visible gap at the desirable 10-50us grain.
+//
+// Ratios across configurations do not fit google-benchmark's one-row-per-run
+// model, so this binary measures with the shared harness and prints the
+// paper-style table directly (grid + CSV with -csv 1).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spdag;
+  options opts(argc, argv);
+  const auto common = harness::read_common(opts, /*default_n=*/1 << 14);
+
+  const std::vector<std::uint64_t> work_ns{1, 10, 100, 1000, 10000};
+  const std::vector<std::string> algos{"faa", "snzi:9", "dyn"};
+
+  std::printf("# fig14: granularity study, fanin n=%llu at proc=%zu "
+              "(paper: n=8M, 40 cores; speedup vs Fetch & Add)\n",
+              static_cast<unsigned long long>(common.n), common.max_proc);
+
+  result_table table({"work_ns", "algo", "mean_s", "ops/s/core",
+                      "speedup_vs_faa"});
+  for (std::uint64_t w : work_ns) {
+    double faa_time = 0;
+    for (const auto& algo : algos) {
+      harness::bench_config cfg;
+      cfg.workload = "fanin";
+      cfg.algo = algo;
+      cfg.workers = common.max_proc;
+      cfg.n = common.n;
+      cfg.work_ns = w;
+      cfg.repetitions = common.runs;
+      const harness::bench_result r = harness::run_config(cfg);
+      if (algo == "faa") faa_time = r.mean_s;
+      const double speedup = (r.mean_s > 0 && faa_time > 0)
+                                 ? faa_time / r.mean_s
+                                 : 0.0;
+      table.add_row({std::to_string(w), algo, result_table::num(r.mean_s, 4),
+                     result_table::num(r.ops_per_s_per_core, 0),
+                     result_table::num(speedup, 2)});
+    }
+  }
+  harness::emit(table, common.csv);
+  return 0;
+}

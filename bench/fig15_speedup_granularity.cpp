@@ -1,0 +1,64 @@
+// Figures 15a-15e (appendix C.3): speedup versus core count at five per-task
+// dummy-work levels {1, 10, 100, 1000, 10000} ns.
+//
+// Baseline for every speedup value: Fetch & Add on ONE core at the same
+// work level (the paper's "Fetch & Add cell @ 1 core"). Expected shape: all
+// algorithms gain from cores as work grows; at fine grain the in-counter's
+// curve rises while Fetch & Add's flattens (contention), and the gap narrows
+// as per-task work grows.
+//
+// One table per work level = one sub-figure. Ratio-structured, so this
+// binary prints paper-style tables via the shared harness (CSV with -csv 1).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spdag;
+  options opts(argc, argv);
+  const auto common = harness::read_common(opts, /*default_n=*/1 << 13);
+
+  const std::vector<std::uint64_t> work_levels{1, 10, 100, 1000, 10000};
+  const std::vector<std::string> algos{"faa", "snzi:9", "dyn"};
+  const std::vector<std::size_t> procs =
+      harness::worker_sweep(common.max_proc, /*points=*/6);
+
+  std::printf("# fig15a-e: speedup vs cores at five dummy-work levels, fanin "
+              "n=%llu (paper: n=8M, up to 20 cores shown)\n",
+              static_cast<unsigned long long>(common.n));
+
+  for (std::uint64_t w : work_levels) {
+    // Baseline: FAA at 1 core, this work level.
+    harness::bench_config base;
+    base.workload = "fanin";
+    base.algo = "faa";
+    base.workers = 1;
+    base.n = common.n;
+    base.work_ns = w;
+    base.repetitions = common.runs;
+    const double base_time = harness::run_config(base).mean_s;
+
+    std::printf("\n## fig15 @ %llu ns dummy work per task "
+                "(speedup vs Fetch & Add @ 1 core)\n",
+                static_cast<unsigned long long>(w));
+    result_table table({"algo", "procs", "mean_s", "speedup"});
+    for (const auto& algo : algos) {
+      for (std::size_t p : procs) {
+        harness::bench_config cfg = base;
+        cfg.algo = algo;
+        cfg.workers = p;
+        const harness::bench_result r = harness::run_config(cfg);
+        const double speedup = r.mean_s > 0 ? base_time / r.mean_s : 0;
+        table.add_row({algo, std::to_string(p), result_table::num(r.mean_s, 4),
+                       result_table::num(speedup, 2)});
+      }
+    }
+    harness::emit(table, common.csv);
+  }
+  return 0;
+}

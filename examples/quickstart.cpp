@@ -1,0 +1,65 @@
+// Quickstart: the three layers of the library in one file.
+//
+//   1. dynamic SNZI tree used directly as a non-zero indicator,
+//   2. an in-counter tracking dependencies by hand,
+//   3. the full sp-dag runtime running a nested-parallel computation.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "incounter/incounter.hpp"
+#include "harness/workloads.hpp"
+#include "sched/runtime.hpp"
+#include "snzi/tree.hpp"
+
+int main() {
+  using namespace spdag;
+
+  // --- 1. Dynamic SNZI as a relaxed counter ------------------------------
+  // query() tells you whether the count is non-zero; it never tells you the
+  // exact value — that relaxation is what makes O(1) contention possible.
+  snzi::snzi_tree tree;
+  tree.arrive();
+  tree.arrive();
+  std::printf("snzi after 2 arrives: nonzero=%d\n", tree.query());
+  tree.depart();
+  const bool zeroed = tree.depart();  // depart reports the 1 -> 0 transition
+  std::printf("snzi after 2 departs: nonzero=%d (last depart zeroed=%d)\n",
+              tree.query(), zeroed);
+
+  // Grow the tree to spread future operations across disjoint cache lines.
+  auto [left, right] = tree.base()->grow(/*threshold=*/1);
+  left->arrive();
+  right->arrive();
+  std::printf("snzi with surplus in both children: nonzero=%d\n", tree.query());
+  left->depart();
+  right->depart();
+  std::printf("drained: nonzero=%d, nodes=%zu\n", tree.query(), tree.node_count());
+
+  // --- 2. The in-counter --------------------------------------------------
+  // Handles returned by arrive() tell the two vertices a spawn creates where
+  // to place their own future increments and decrements.
+  incounter ic(/*initial=*/1);
+  const token root_handle = ic.root_token();
+  arrive_result h = ic.arrive(root_handle, /*from_left=*/true);
+  std::printf("in-counter after increment: zero=%d\n", ic.is_zero());
+  ic.depart(h.dec);            // the spawned child finishes
+  const bool done = ic.depart(root_handle);  // the initial obligation resolves
+  std::printf("in-counter drained: zero=%d (last depart zeroed=%d)\n",
+              ic.is_zero(), done);
+
+  // --- 3. The sp-dag runtime ----------------------------------------------
+  // fork2 = parallel composition, finish_then = serial composition; the
+  // runtime's dependency counters are in-counters by default.
+  runtime rt(runtime_config{/*workers=*/2, /*counter=*/"dyn"});
+  const std::uint64_t f25 = harness::fib(rt, 25);
+  std::printf("parallel fib(25) = %llu (expected 75025)\n",
+              static_cast<unsigned long long>(f25));
+
+  harness::fanin(rt, /*n=*/1 << 14);
+  std::printf("fanin(16384) completed; executions so far: %llu\n",
+              static_cast<unsigned long long>(
+                  rt.engine().stats().executions.load()));
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+// Fetch-and-add dependency counter: the paper's first baseline.
+//
+// "We compare our in-counter with an atomic, fetch-and-add counter because
+// the fetch-and-add counter is optimal for very small numbers of cores"
+// (section 5). Every arrive/depart hits the same cache line, which is
+// exactly the contention hot spot SNZI-style structures remove.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "counter/dep_counter.hpp"
+#include "util/cache_aligned.hpp"
+
+namespace spdag {
+
+class faa_counter final : public dep_counter {
+ public:
+  explicit faa_counter(std::uint32_t initial = 0) noexcept { reset(initial); }
+
+  arrive_result arrive(token /*inc_hint*/, bool /*from_left*/) override {
+    count_.value.fetch_add(1, std::memory_order_seq_cst);
+    return {0, 0, 0};
+  }
+
+  bool depart(token /*dec*/) override {
+    const std::int64_t prev = count_.value.fetch_sub(1, std::memory_order_seq_cst);
+    assert(prev >= 1 && "depart on a zero fetch-and-add counter");
+    return prev == 1;
+  }
+
+  bool is_zero() const override {
+    return count_.value.load(std::memory_order_acquire) == 0;
+  }
+
+  token root_token() override { return 0; }
+  bool uses_tokens() const override { return false; }
+
+  void reset(std::uint32_t n) override {
+    count_.value.store(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+  }
+
+  std::int64_t value() const noexcept {
+    return count_.value.load(std::memory_order_acquire);
+  }
+
+ private:
+  cache_aligned<std::atomic<std::int64_t>> count_{0};
+};
+
+}  // namespace spdag

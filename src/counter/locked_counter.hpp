@@ -1,0 +1,56 @@
+#pragma once
+// Mutex-protected reference counter.
+//
+// Not a contender in any benchmark — it exists as the trivially correct
+// oracle the test suite compares every other dep_counter implementation
+// against (conformance + linearizability-at-quiescence checks).
+
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+
+#include "counter/dep_counter.hpp"
+
+namespace spdag {
+
+class locked_counter final : public dep_counter {
+ public:
+  explicit locked_counter(std::uint32_t initial = 0) : count_(initial) {}
+
+  arrive_result arrive(token /*inc_hint*/, bool /*from_left*/) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+    return {0, 0, 0};
+  }
+
+  bool depart(token /*dec*/) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(count_ >= 1 && "depart on a zero reference counter");
+    --count_;
+    return count_ == 0;
+  }
+
+  bool is_zero() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0;
+  }
+
+  token root_token() override { return 0; }
+  bool uses_tokens() const override { return false; }
+
+  void reset(std::uint32_t n) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ = n;
+  }
+
+  std::int64_t value() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t count_;
+};
+
+}  // namespace spdag

@@ -1,0 +1,208 @@
+#include "dag/engine.hpp"
+
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace spdag {
+
+namespace {
+thread_local vertex* tls_current_vertex = nullptr;
+thread_local dag_engine* tls_current_engine = nullptr;
+}  // namespace
+
+vertex* dag_engine::current_vertex() noexcept { return tls_current_vertex; }
+dag_engine* dag_engine::current_engine() noexcept { return tls_current_engine; }
+
+dag_engine::dag_engine(counter_factory& factory, executor& exec,
+                       dag_engine_options options)
+    : factory_(factory), exec_(exec), options_(options) {
+  // Counters from one factory are homogeneous; probe once.
+  dep_counter* probe = factory_.acquire(0);
+  uses_tokens_ = probe->uses_tokens();
+  factory_.release(probe);
+}
+
+dag_engine::~dag_engine() = default;
+
+vertex* dag_engine::alloc_vertex() {
+  vertex* v = vertex_pool_.pop();
+  if (v == nullptr) {
+    auto fresh = std::make_unique<vertex>();
+    v = fresh.get();
+    std::lock_guard<std::mutex> lock(all_mu_);
+    all_vertices_.push_back(std::move(fresh));
+  }
+  stats_.vertices_created.fetch_add(1, std::memory_order_relaxed);
+  return v;
+}
+
+void dag_engine::recycle(vertex* v) {
+  v->body.reset();
+  if (v->counter != nullptr) {
+    factory_.release(v->counter);
+    v->counter = nullptr;
+  }
+  v->fin = nullptr;
+  v->inc = 0;
+  v->dpair = nullptr;
+  v->dead = false;
+  stats_.vertices_recycled.fetch_add(1, std::memory_order_relaxed);
+  vertex_pool_.push(v);
+}
+
+dec_pair* dag_engine::alloc_pair(token t0, token t1, std::uint32_t owners) {
+  dec_pair* p = pair_pool_.pop();
+  if (p == nullptr) {
+    auto fresh = std::make_unique<dec_pair>();
+    p = fresh.get();
+    std::lock_guard<std::mutex> lock(all_mu_);
+    all_pairs_.push_back(std::move(fresh));
+  }
+  p->reset(t0, t1, owners);
+  stats_.pairs_created.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void dag_engine::release_pair_ref(dec_pair* p) {
+  if (p->owners.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    stats_.pairs_recycled.fetch_add(1, std::memory_order_relaxed);
+    pair_pool_.push(p);
+  }
+}
+
+token dag_engine::claim_dec(vertex* u) {
+  dec_pair* p = u->dpair;
+  assert(p != nullptr && "claim_dec on a vertex without a decrement pair");
+  // Test-and-set: the first sibling to need a decrement handle takes t[0],
+  // the handle pointing higher in the SNZI tree (paper section 3.3). The
+  // ablation policy lets the first claimer pick a random slot instead.
+  const std::int8_t want =
+      options_.randomize_claim_order
+          ? static_cast<std::int8_t>(thread_rng()() & 1)
+          : std::int8_t{0};
+  std::int8_t first = -1;
+  int idx;
+  if (p->first_slot.compare_exchange_strong(first, want,
+                                            std::memory_order_acq_rel)) {
+    idx = want;
+  } else {
+    idx = 1 - first;  // the slot the first claimer left behind
+  }
+  const token t = p->t[idx];
+  u->dpair = nullptr;
+  release_pair_ref(p);
+  return t;
+}
+
+vertex* dag_engine::new_vertex(vertex* fin, token inc, dec_pair* dpair,
+                               std::uint32_t n, bool is_left) {
+  vertex* v = alloc_vertex();
+  v->counter = factory_.acquire(n);
+  v->fin = fin;
+  v->inc = inc;
+  v->dpair = dpair;
+  v->is_left = is_left;
+  v->dead = false;
+  return v;
+}
+
+std::pair<vertex*, vertex*> dag_engine::make() {
+  // Final vertex: one pending dependency (the root's signal); no finish of
+  // its own — executing it ends the computation.
+  vertex* final_v = alloc_vertex();
+  final_v->counter = factory_.acquire(1);
+  final_v->fin = nullptr;
+  final_v->inc = 0;
+  final_v->dpair = nullptr;
+  final_v->dead = false;
+
+  const token h = final_v->counter->root_token();
+  dec_pair* p = uses_tokens_ ? alloc_pair(h, h, 1) : nullptr;
+  vertex* root = new_vertex(final_v, h, p, 0, /*is_left=*/true);
+  return {root, final_v};
+}
+
+std::pair<vertex*, vertex*> dag_engine::chain(vertex* u) {
+  stats_.chains.fetch_add(1, std::memory_order_relaxed);
+  assert(!u->dead && "chain on a dead vertex");
+  // w inherits u's obligation toward u.fin and waits for v's subtree.
+  vertex* w = new_vertex(u->fin, u->inc, u->dpair, 1, u->is_left);
+  u->dpair = nullptr;  // transferred
+  const token h = w->counter->root_token();
+  dec_pair* vp = uses_tokens_ ? alloc_pair(h, h, 1) : nullptr;
+  vertex* v = new_vertex(w, h, vp, 0, /*is_left=*/true);
+  u->dead = true;
+  return {v, w};
+}
+
+std::pair<vertex*, vertex*> dag_engine::spawn(vertex* u) {
+  stats_.spawns.fetch_add(1, std::memory_order_relaxed);
+  assert(!u->dead && "spawn on a dead vertex");
+  vertex* fin = u->fin;
+  assert(fin != nullptr && "spawn requires a finish vertex");
+  // One increment for two new vertices: one of them stands for u's
+  // continuation, whose obligation u already holds.
+  const arrive_result r = fin->counter->arrive(u->inc, u->is_left);
+  dec_pair* np = nullptr;
+  if (uses_tokens_) {
+    // Claim AFTER the arrive completed (the paper's key invariant), and
+    // order the pair [inherited-higher, fresh-lower].
+    const token d1 = claim_dec(u);
+    np = alloc_pair(d1, r.dec, /*owners=*/2);
+  }
+  vertex* v = new_vertex(fin, r.inc_left, np, 0, /*is_left=*/true);
+  vertex* w = new_vertex(fin, r.inc_right, np, 0, /*is_left=*/false);
+  if (np != nullptr) {
+    // Two owners share one pair; alloc_pair set the refcount already.
+  }
+  u->dead = true;
+  return {v, w};
+}
+
+void dag_engine::signal(vertex* u) {
+  stats_.signals.fetch_add(1, std::memory_order_relaxed);
+  vertex* fin = u->fin;
+  assert(fin != nullptr && "signal requires a finish vertex");
+  const token d = uses_tokens_ ? claim_dec(u) : 0;
+  if (fin->counter->depart(d)) {
+    exec_.enqueue(fin);
+  }
+}
+
+void dag_engine::add(vertex* v) {
+  if (v->counter->is_zero()) {
+    exec_.enqueue(v);
+  }
+}
+
+void dag_engine::execute(vertex* v) {
+  stats_.executions.fetch_add(1, std::memory_order_relaxed);
+  vertex* prev_v = tls_current_vertex;
+  dag_engine* prev_e = tls_current_engine;
+  tls_current_vertex = v;
+  tls_current_engine = this;
+  if (v->body) v->body();
+  tls_current_vertex = prev_v;
+  tls_current_engine = prev_e;
+  // Recycle BEFORE signaling: the signal below may transitively enable the
+  // final vertex on another worker, and the run is only quiescent once every
+  // vertex is recycled. Claim the decrement handle first (it lives in v).
+  const bool should_signal = !v->dead && v->fin != nullptr;
+  vertex* fin = v->fin;
+  const token d = (should_signal && uses_tokens_) ? claim_dec(v) : 0;
+  const token abandoned_inc = should_signal ? v->inc : 0;
+  recycle(v);
+  if (should_signal) {
+    stats_.signals.fetch_add(1, std::memory_order_relaxed);
+    // This vertex never spawned, so its increment handle is dead; let the
+    // counter reclaim the handle's node (appendix B) before the depart that
+    // may hand `fin` to another worker.
+    if (uses_tokens_) fin->counter->abandon(abandoned_inc);
+    if (fin->counter->depart(d)) {
+      exec_.enqueue(fin);
+    }
+  }
+}
+
+}  // namespace spdag

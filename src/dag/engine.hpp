@@ -1,0 +1,177 @@
+#pragma once
+// dag_engine: the sp-dag data structure (paper Figure 3).
+//
+// Owns vertex and dec-pair pools and implements make / chain / spawn /
+// signal on top of a pluggable dependency counter. Scheduling is delegated
+// through the `executor` interface: the engine pushes a vertex to the
+// executor exactly once, at the moment its dependency counter reaches zero
+// (readiness detection via the depart return value, paper section 5).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "dag/vertex.hpp"
+#include "incounter/factory.hpp"
+#include "util/treiber_stack.hpp"
+
+namespace spdag {
+
+// Whoever runs ready vertices (the work-stealing scheduler, or a trivial
+// serial loop in tests).
+class executor {
+ public:
+  virtual ~executor() = default;
+  virtual void enqueue(vertex* v) = 0;
+};
+
+// Relaxed global tallies; cheap enough to keep on, and the integration tests
+// use them to prove conservation laws (created == recycled, one signal per
+// leaf, ...).
+struct engine_stats {
+  std::atomic<std::uint64_t> vertices_created{0};
+  std::atomic<std::uint64_t> vertices_recycled{0};
+  std::atomic<std::uint64_t> spawns{0};
+  std::atomic<std::uint64_t> chains{0};
+  std::atomic<std::uint64_t> signals{0};
+  std::atomic<std::uint64_t> pairs_created{0};
+  std::atomic<std::uint64_t> pairs_recycled{0};
+  std::atomic<std::uint64_t> executions{0};
+
+  void reset() noexcept {
+    for (auto* p : {&vertices_created, &vertices_recycled, &spawns, &chains,
+                    &signals, &pairs_created, &pairs_recycled, &executions}) {
+      p->store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+struct dag_engine_options {
+  // Ablation A2: when true, the first sibling to claim a decrement handle
+  // picks a random slot instead of the higher-in-the-tree one, voiding the
+  // ordering invariant of Lemma 4.6. Counting stays correct, but a node can
+  // then phase-change to zero while live handles still point into its
+  // subtree — so this option MUST be combined with a non-reclaiming counter
+  // ("dyn:<t>:noreclaim"); with reclamation it is a use-after-recycle.
+  bool randomize_claim_order = false;
+};
+
+class dag_engine {
+ public:
+  // The engine borrows the factory and executor; both must outlive it.
+  dag_engine(counter_factory& factory, executor& exec,
+             dag_engine_options options = {});
+  ~dag_engine();
+
+  dag_engine(const dag_engine&) = delete;
+  dag_engine& operator=(const dag_engine&) = delete;
+
+  // --- the paper's operations ---
+
+  // Creates the root vertex and its finish (final) vertex; returns
+  // (root, final). The root is ready; final waits for the root's signal.
+  std::pair<vertex*, vertex*> make();
+
+  // Serial composition: nests a sequential computation under `u`.
+  // Returns (v, w) where v runs first (fin = w) and w runs after v's
+  // entire subtree completes. Must be the last dag operation u performs.
+  std::pair<vertex*, vertex*> chain(vertex* u);
+
+  // Parallel composition: creates two parallel vertices under u's finish,
+  // incrementing the finish counter once (one of the children stands for
+  // u's continuation). Must be the last dag operation u performs.
+  std::pair<vertex*, vertex*> spawn(vertex* u);
+
+  // Signals completion of u: decrements u.fin's counter; when that reaches
+  // zero, u.fin is handed to the executor. Called by execute() for vertices
+  // that did not chain/spawn.
+  void signal(vertex* u);
+
+  // The generalized constructor (paper's new_vertex): fresh vertex with
+  // `n` initial dependencies and the given handles.
+  vertex* new_vertex(vertex* fin, token inc, dec_pair* dpair, std::uint32_t n,
+                     bool is_left);
+
+  // Hands v to the executor iff its counter is (already) zero. Mirrors the
+  // paper's Scheduler.add: vertices with pending dependencies are enqueued
+  // later by the zeroing signal.
+  void add(vertex* v);
+
+  // Runs v's body with this-vertex context, signals if v is not dead, and
+  // recycles v. Called by the executor's workers.
+  void execute(vertex* v);
+
+  // --- plumbing ---
+  counter_factory& factory() noexcept { return factory_; }
+  executor& exec() noexcept { return exec_; }
+  engine_stats& stats() noexcept { return stats_; }
+  bool uses_tokens() const noexcept { return uses_tokens_; }
+
+  // Pool sizes (tests).
+  std::size_t pooled_vertices() const noexcept { return vertex_pool_.size_slow(); }
+  std::size_t pooled_pairs() const noexcept { return pair_pool_.size_slow(); }
+  std::size_t live_vertices() const noexcept {
+    return stats_.vertices_created.load(std::memory_order_relaxed) -
+           stats_.vertices_recycled.load(std::memory_order_relaxed);
+  }
+
+  // The vertex currently executing on this thread (the paper's this_vertex).
+  static vertex* current_vertex() noexcept;
+  static dag_engine* current_engine() noexcept;
+
+ private:
+  vertex* alloc_vertex();
+  void recycle(vertex* v);
+  dec_pair* alloc_pair(token t0, token t1, std::uint32_t owners);
+  void release_pair_ref(dec_pair* p);
+  token claim_dec(vertex* u);
+
+  counter_factory& factory_;
+  executor& exec_;
+  dag_engine_options options_;
+  bool uses_tokens_;
+  engine_stats stats_;
+
+  treiber_stack<vertex> vertex_pool_;
+  treiber_stack<dec_pair> pair_pool_;
+  std::mutex all_mu_;
+  std::vector<std::unique_ptr<vertex>> all_vertices_;
+  std::vector<std::unique_ptr<dec_pair>> all_pairs_;
+};
+
+// --- nested-parallelism sugar (usable inside vertex bodies) ---
+
+// Parallel composition of two closures under the current vertex: one spawn,
+// both children scheduled. Must be the last dag action of the current body.
+template <typename L, typename R>
+void fork2(L&& left, R&& right) {
+  dag_engine* eng = dag_engine::current_engine();
+  vertex* u = dag_engine::current_vertex();
+  auto [v, w] = eng->spawn(u);
+  v->body = std::forward<L>(left);
+  w->body = std::forward<R>(right);
+  eng->add(v);
+  eng->add(w);
+}
+
+// Serial composition under the current vertex: runs `first`'s entire nested
+// computation (a finish block), then `then`. Must be the last dag action of
+// the current body.
+template <typename F, typename T>
+void finish_then(F&& first, T&& then) {
+  dag_engine* eng = dag_engine::current_engine();
+  vertex* u = dag_engine::current_vertex();
+  auto [v, w] = eng->chain(u);
+  v->body = std::forward<F>(first);
+  w->body = std::forward<T>(then);
+  // Register w BEFORE publishing v: once v is enqueued, another worker can
+  // run v's entire subtree, signal w, execute and recycle it — after which
+  // touching w here would be a use-after-recycle.
+  eng->add(w);
+  eng->add(v);
+}
+
+}  // namespace spdag

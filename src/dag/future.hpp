@@ -1,0 +1,165 @@
+#pragma once
+// Structured futures on the sp-dag — the extension direction the paper's
+// conclusion names ("more general, but still restricted, models of
+// concurrency, such as those based on futures").
+//
+// A future here is STRUCTURED: its producer runs as an ordinary vertex under
+// the enclosing finish, so the series-parallel discipline (and with it the
+// in-counter's O(1) contention analysis) is preserved; the only new edge
+// kind is producer -> consumer, represented by deferred scheduling rather
+// than by a counter increment:
+//
+//   * fork2_future(p, c)  — parallel composition with a value: the left
+//     child computes p() and completes the future, the right child runs
+//     c(future) immediately. Must be the last dag action of the body.
+//   * future_then(f, fn)  — schedules fn(value) as a new vertex under the
+//     current finish; it runs once the future completes (immediately if it
+//     already has). Must be the last dag action of the body.
+//   * future<T>::ready()/get() — non-blocking inspection; get() requires
+//     ready() (a consumer scheduled via future_then always sees it ready).
+//
+// The completion/registration race is resolved with a claim flag per
+// waiter: the registrant re-checks readiness after pushing, and whichever
+// side wins the exchange schedules the waiter exactly once.
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "dag/engine.hpp"
+#include "util/treiber_stack.hpp"
+
+namespace spdag {
+
+namespace detail {
+
+struct future_waiter {
+  vertex* consumer = nullptr;
+  dag_engine* engine = nullptr;
+  std::atomic<bool> claimed{false};
+  std::atomic<future_waiter*> pool_next{nullptr};
+};
+
+template <typename T>
+class future_state {
+ public:
+  ~future_state() {
+    // Normally drained at completion; clean up registrations left behind by
+    // programs that abandoned the future (its producer must still have run,
+    // or the enclosing finish could never have fired).
+    while (future_waiter* w = waiters_.pop()) delete w;
+  }
+
+  bool ready() const noexcept {
+    return ready_.load(std::memory_order_acquire);
+  }
+
+  const T& value() const noexcept {
+    assert(ready() && "future read before completion");
+    return *reinterpret_cast<const T*>(&storage_);
+  }
+
+  void complete(T v, dag_engine* engine) {
+    assert(!ready() && "future completed twice");
+    ::new (&storage_) T(std::move(v));
+    ready_.store(true, std::memory_order_release);
+    drain(engine);
+  }
+
+  // Registers `consumer` to be enqueued on completion. If the future
+  // completed concurrently (or earlier), schedules it here instead.
+  void register_waiter(vertex* consumer, dag_engine* engine) {
+    if (ready()) {
+      engine->add(consumer);
+      return;
+    }
+    auto* w = new future_waiter{};
+    w->consumer = consumer;
+    w->engine = engine;
+    waiters_.push(w);
+    // Re-check: the producer may have drained between our check and push.
+    if (ready() && !w->claimed.exchange(true, std::memory_order_acq_rel)) {
+      engine->add(consumer);
+      // The node stays on the stack; the producer's drain (or the
+      // destructor) frees it after losing the claim.
+    }
+  }
+
+ private:
+  void drain(dag_engine* completion_engine) {
+    while (future_waiter* w = waiters_.pop()) {
+      if (!w->claimed.exchange(true, std::memory_order_acq_rel)) {
+        dag_engine* eng = w->engine != nullptr ? w->engine : completion_engine;
+        eng->add(w->consumer);
+      }
+      delete w;
+    }
+  }
+
+  std::atomic<bool> ready_{false};
+  alignas(T) unsigned char storage_[sizeof(T)];
+  treiber_stack<future_waiter> waiters_;
+};
+
+}  // namespace detail
+
+template <typename T>
+class future {
+ public:
+  future() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  bool ready() const noexcept { return state_ != nullptr && state_->ready(); }
+
+  // The produced value; requires ready().
+  const T& get() const noexcept {
+    assert(valid());
+    return state_->value();
+  }
+
+  static future make() {
+    future f;
+    f.state_ = std::make_shared<detail::future_state<T>>();
+    return f;
+  }
+
+  void complete(T v, dag_engine* engine) const {
+    state_->complete(std::move(v), engine);
+  }
+  void register_waiter(vertex* consumer, dag_engine* engine) const {
+    state_->register_waiter(consumer, engine);
+  }
+
+ private:
+  std::shared_ptr<detail::future_state<T>> state_;
+};
+
+// Parallel composition with a value. Left child: computes producer() and
+// completes the future. Right child: runs consumer(future) immediately
+// (typically registering continuations with future_then). Must be the last
+// dag action of the current body.
+template <typename T, typename Producer, typename Consumer>
+void fork2_future(Producer producer, Consumer consumer) {
+  future<T> fut = future<T>::make();
+  fork2(
+      [producer = std::move(producer), fut]() mutable {
+        fut.complete(producer(), dag_engine::current_engine());
+      },
+      [consumer = std::move(consumer), fut]() mutable { consumer(fut); });
+}
+
+// Schedules fn(value) as a fresh vertex under the current finish, gated on
+// the future's completion. Must be the last dag action of the current body.
+template <typename T, typename F>
+void future_then(future<T> fut, F fn) {
+  dag_engine* eng = dag_engine::current_engine();
+  vertex* u = dag_engine::current_vertex();
+  auto [consumer, filler] = eng->spawn(u);
+  consumer->body = [fut, fn = std::move(fn)]() mutable { fn(fut.get()); };
+  // The spawn's second vertex has no work; it just resolves its obligation.
+  eng->add(filler);
+  fut.register_waiter(consumer, eng);
+}
+
+}  // namespace spdag

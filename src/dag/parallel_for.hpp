@@ -1,0 +1,61 @@
+#pragma once
+// parallel_for: the parallel-loop pattern on top of the sp-dag.
+//
+// The paper's introduction motivates the in-counter with exactly this
+// pattern — "a parallel-for, where a number of independent computations are
+// forked to execute in parallel and synchronize at termination" — i.e., a
+// fanin whose finish counter absorbs the contention. The range is split
+// recursively with fork2 until it is at most `grain` wide, then executed
+// serially.
+//
+// Like fork2/finish_then, a call must be the LAST dag action of the current
+// vertex body (the loop's completion is observed by the enclosing finish,
+// not by code after the call). For sequencing, pass the continuation to
+// finish_then:   finish_then([..]{ parallel_for(...); }, continuation).
+
+#include <cstddef>
+#include <utility>
+
+#include "dag/engine.hpp"
+
+namespace spdag {
+
+namespace detail {
+
+// Recursive range task. F is copied into both halves on every split, so it
+// should be a small view (pointers/references), like any vertex body.
+template <typename F>
+struct pfor_range {
+  std::size_t lo;
+  std::size_t hi;
+  std::size_t grain;
+  F f;
+
+  void operator()() {
+    std::size_t a = lo;
+    const std::size_t b = hi;
+    if (b - a <= grain) {
+      for (; a < b; ++a) f(a);
+      return;
+    }
+    const std::size_t mid = a + (b - a) / 2;
+    fork2(pfor_range<F>{a, mid, grain, f}, pfor_range<F>{mid, b, grain, f});
+  }
+};
+
+}  // namespace detail
+
+// Applies f(i) for every i in [lo, hi), in parallel, with serial chunks of
+// at most `grain` iterations. Must be the last dag action of the current
+// vertex body. A zero grain is treated as 1. Empty ranges are a no-op.
+//
+// f itself may perform dag operations (fork2, a nested parallel_for, ...)
+// only when grain == 1: with larger grains f runs several times inside one
+// chunk vertex, and a dag operation kills that vertex mid-chunk.
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, std::size_t grain, F f) {
+  if (lo >= hi) return;
+  detail::pfor_range<F>{lo, hi, grain == 0 ? 1 : grain, std::move(f)}();
+}
+
+}  // namespace spdag

@@ -1,0 +1,37 @@
+#pragma once
+// Deterministic single-threaded executor.
+//
+// Runs ready vertices from a FIFO queue on the calling thread. Used by the
+// structural tests (deterministic interleaving) and as a baseline sanity
+// check that a dag program's result does not depend on the scheduler.
+
+#include <deque>
+
+#include "dag/engine.hpp"
+
+namespace spdag {
+
+class serial_executor final : public executor {
+ public:
+  void enqueue(vertex* v) override { queue_.push_back(v); }
+
+  // Executes until no vertex is ready. Returns the number executed.
+  std::size_t run_all(dag_engine& engine) {
+    std::size_t n = 0;
+    while (!queue_.empty()) {
+      vertex* v = queue_.front();
+      queue_.pop_front();
+      engine.execute(v);
+      ++n;
+    }
+    return n;
+  }
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  std::deque<vertex*> queue_;
+};
+
+}  // namespace spdag

@@ -1,0 +1,88 @@
+#include "harness/bench_runner.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "harness/workloads.hpp"
+#include "sched/runtime.hpp"
+#include "util/timer.hpp"
+#include "util/topology.hpp"
+
+namespace spdag::harness {
+
+bench_result run_config(const bench_config& cfg) {
+  runtime rt(runtime_config{cfg.workers, cfg.algo, /*pin_threads=*/false,
+                            /*snzi_stats=*/nullptr});
+  auto once = [&] {
+    if (cfg.workload == "fanin") {
+      fanin(rt, cfg.n, cfg.work_ns);
+    } else if (cfg.workload == "indegree2") {
+      indegree2(rt, cfg.n, cfg.work_ns);
+    } else if (cfg.workload == "fib") {
+      fib(rt, static_cast<unsigned>(cfg.n));
+    } else {
+      throw std::invalid_argument("unknown workload: " + cfg.workload);
+    }
+  };
+
+  // One untimed warm-up populates the object pools and the page cache so the
+  // measured runs see steady state (the paper's artifact averages 30 runs
+  // for the same reason).
+  once();
+
+  run_stats stats;
+  for (int r = 0; r < cfg.repetitions; ++r) {
+    wall_timer t;
+    once();
+    stats.add(t.elapsed_s());
+  }
+
+  bench_result res;
+  res.cfg = cfg;
+  res.mean_s = stats.mean();
+  res.min_s = stats.min();
+  res.max_s = stats.max();
+  res.rsd = stats.rsd();
+  const double ops = static_cast<double>(counter_ops(cfg.n));
+  res.ops_per_s = res.mean_s > 0 ? ops / res.mean_s : 0;
+  res.ops_per_s_per_core = res.ops_per_s / static_cast<double>(cfg.workers);
+  return res;
+}
+
+std::vector<std::size_t> worker_sweep(std::size_t max_workers, std::size_t points) {
+  std::vector<std::size_t> out;
+  if (max_workers == 0) max_workers = 1;
+  if (max_workers <= points) {
+    for (std::size_t w = 1; w <= max_workers; ++w) out.push_back(w);
+    return out;
+  }
+  // 1 plus (points-1) evenly spaced values ending at max_workers.
+  out.push_back(1);
+  for (std::size_t i = 1; i < points; ++i) {
+    const std::size_t w = 1 + i * (max_workers - 1) / (points - 1);
+    if (w != out.back()) out.push_back(w);
+  }
+  return out;
+}
+
+common_options read_common(const options& opts, std::uint64_t default_n) {
+  common_options c;
+  c.n = static_cast<std::uint64_t>(
+      opts.get_int("n", static_cast<std::int64_t>(default_n)));
+  c.max_proc = static_cast<std::size_t>(opts.get_int(
+      "proc", static_cast<std::int64_t>(hardware_core_count())));
+  c.runs = static_cast<int>(opts.get_int("runs", 3));
+  c.csv = opts.get_bool("csv", false);
+  return c;
+}
+
+void emit(result_table& table, bool csv) {
+  table.print(std::cout);
+  if (csv) {
+    std::cout << "\n-- csv --\n";
+    table.print_csv(std::cout);
+  }
+  std::cout.flush();
+}
+
+}  // namespace spdag::harness

@@ -1,0 +1,60 @@
+#pragma once
+// Sweep runner used by every figure-reproduction benchmark.
+//
+// Builds a fresh runtime per configuration, repeats the workload, and
+// reports the paper's metric: operations per second per core, averaged over
+// repetitions (the artifact's default was 30 repetitions; ours is
+// environment-scalable via SPDAG_RUNS).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace spdag::harness {
+
+struct bench_config {
+  std::string workload = "fanin";  // "fanin" | "indegree2" | "fib"
+  std::string algo = "dyn";        // counter spec (see make_counter_factory)
+  std::size_t workers = 1;
+  std::uint64_t n = 1 << 20;       // leaf count (or fib argument)
+  std::uint64_t work_ns = 0;       // per-leaf dummy work
+  int repetitions = 3;
+};
+
+struct bench_result {
+  bench_config cfg;
+  double mean_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+  double rsd = 0;           // relative stddev across repetitions
+  double ops_per_s = 0;     // counter ops / mean seconds
+  double ops_per_s_per_core = 0;
+};
+
+// Runs one configuration to completion and returns the aggregate.
+bench_result run_config(const bench_config& cfg);
+
+// Standard sweep values -----------------------------------------------------
+
+// Worker counts 1..max_workers thinned to ~`points` values (paper sweeps
+// 1..40 processors).
+std::vector<std::size_t> worker_sweep(std::size_t max_workers,
+                                      std::size_t points = 8);
+
+// Reads shared benchmark options (-n, -proc, -runs, -workload, ...) with
+// environment fallbacks (SPDAG_N, SPDAG_PROC, SPDAG_RUNS, ...).
+struct common_options {
+  std::uint64_t n;
+  std::size_t max_proc;
+  int runs;
+  bool csv;
+};
+common_options read_common(const options& opts, std::uint64_t default_n);
+
+// Emits one table in both grid and (optionally) CSV form.
+void emit(result_table& table, bool csv);
+
+}  // namespace spdag::harness

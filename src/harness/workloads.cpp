@@ -1,0 +1,76 @@
+#include "harness/workloads.hpp"
+
+#include "util/dummy_work.hpp"
+
+namespace spdag::harness {
+
+namespace {
+
+void fanin_rec(std::uint64_t n, std::uint64_t work_ns) {
+  if (n >= 2) {
+    fork2([n, work_ns] { fanin_rec(n / 2, work_ns); },
+          [n, work_ns] { fanin_rec(n - n / 2, work_ns); });
+  } else if (work_ns != 0) {
+    spin_ns(work_ns);
+  }
+}
+
+void indegree2_rec(std::uint64_t n, std::uint64_t work_ns) {
+  if (n >= 2) {
+    finish_then(
+        [n, work_ns] {
+          fork2([n, work_ns] { indegree2_rec(n / 2, work_ns); },
+                [n, work_ns] { indegree2_rec(n - n / 2, work_ns); });
+        },
+        [] {});
+  } else if (work_ns != 0) {
+    spin_ns(work_ns);
+  }
+}
+
+void fib_rec(unsigned n, std::uint64_t* dest) {
+  if (n <= 1) {
+    *dest = n;
+    return;
+  }
+  // The paper's Figure 4: a chain whose first vertex spawns the two
+  // recursive calls and whose second vertex sums the results.
+  auto* res = new std::pair<std::uint64_t, std::uint64_t>{0, 0};
+  finish_then(
+      [n, res] {
+        fork2([n, res] { fib_rec(n - 1, &res->first); },
+              [n, res] { fib_rec(n - 2, &res->second); });
+      },
+      [res, dest] {
+        *dest = res->first + res->second;
+        delete res;
+      });
+}
+
+}  // namespace
+
+void fanin(runtime& rt, std::uint64_t n, std::uint64_t work_ns) {
+  if (work_ns != 0) spin_units_per_ns();  // calibrate outside the timed region
+  rt.run([n, work_ns] { finish_then([n, work_ns] { fanin_rec(n, work_ns); }, [] {}); });
+}
+
+void indegree2(runtime& rt, std::uint64_t n, std::uint64_t work_ns) {
+  if (work_ns != 0) spin_units_per_ns();
+  rt.run([n, work_ns] { indegree2_rec(n, work_ns); });
+}
+
+std::uint64_t fib(runtime& rt, unsigned n) {
+  std::uint64_t result = 0;
+  std::uint64_t* dest = &result;
+  rt.run([n, dest] { fib_rec(n, dest); });
+  return result;
+}
+
+std::uint64_t counter_ops(std::uint64_t n) {
+  // Each of the n-1 spawns is one arrive; each of the n leaves plus the n-1
+  // spawn continuations resolves one depart obligation. We report the
+  // paper's convention (ops = n) scaled to arrive+depart pairs.
+  return 2 * n;
+}
+
+}  // namespace spdag::harness

@@ -1,0 +1,34 @@
+#pragma once
+// The paper's benchmark workloads (section 5, Figures 6 and 7).
+//
+// fanin(n):      n leaf tasks, all synchronizing at a single finish block —
+//                one dependency counter absorbs n increments/decrements, the
+//                worst case for a centralized counter.
+// indegree2(n):  the same task count, but every pair of asyncs gets its own
+//                finish block, so every counter has indegree 2 — the worst
+//                case for per-counter allocation cost.
+//
+// Both take optional per-leaf busy work (the granularity study, appendix
+// C.3; "each unit of dummy work takes approximately one nanosecond").
+
+#include <cstdint>
+
+#include "sched/runtime.hpp"
+
+namespace spdag::harness {
+
+// Runs one fanin computation of n leaves to completion on rt.
+void fanin(runtime& rt, std::uint64_t n, std::uint64_t work_ns = 0);
+
+// Runs one indegree-2 computation of n leaves to completion on rt.
+void indegree2(runtime& rt, std::uint64_t n, std::uint64_t work_ns = 0);
+
+// Parallel Fibonacci on the sp-dag (the paper's running example, Figure 4).
+// Exponential work; use small n. Returns fib(n).
+std::uint64_t fib(runtime& rt, unsigned n);
+
+// The number of dependency-counter operations (arrives + departs on finish
+// counters) a workload of n leaves performs; used for throughput reporting.
+std::uint64_t counter_ops(std::uint64_t n);
+
+}  // namespace spdag::harness

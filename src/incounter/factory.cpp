@@ -1,0 +1,76 @@
+#include "incounter/factory.hpp"
+
+#include <stdexcept>
+
+#include "counter/faa_counter.hpp"
+#include "counter/fixed_snzi_counter.hpp"
+#include "counter/locked_counter.hpp"
+#include "util/topology.hpp"
+
+namespace spdag {
+
+dep_counter* counter_factory::acquire(std::uint32_t initial) {
+  dep_counter* c = pool_.pop();
+  if (c == nullptr) {
+    auto fresh = create();
+    c = fresh.get();
+    std::lock_guard<std::mutex> lock(all_mu_);
+    all_.push_back(std::move(fresh));
+  }
+  c->reset(initial);
+  return c;
+}
+
+std::size_t counter_factory::created() const {
+  std::lock_guard<std::mutex> lock(all_mu_);
+  return all_.size();
+}
+
+std::unique_ptr<dep_counter> faa_factory::create() {
+  return std::make_unique<faa_counter>();
+}
+
+std::unique_ptr<dep_counter> fixed_snzi_factory::create() {
+  return std::make_unique<fixed_snzi_counter>(depth_, 0, stats_);
+}
+
+std::unique_ptr<dep_counter> incounter_factory::create() {
+  return std::make_unique<incounter>(0, cfg_);
+}
+
+std::unique_ptr<dep_counter> locked_factory::create() {
+  return std::make_unique<locked_counter>();
+}
+
+std::unique_ptr<counter_factory> make_counter_factory(const std::string& spec,
+                                                      snzi::tree_stats* stats) {
+  if (spec == "faa") return std::make_unique<faa_factory>();
+  if (spec == "locked") return std::make_unique<locked_factory>();
+  if (spec.rfind("snzi:", 0) == 0) {
+    const int depth = std::stoi(spec.substr(5));
+    return std::make_unique<fixed_snzi_factory>(depth, stats);
+  }
+  if (spec == "dyn" || spec.rfind("dyn:", 0) == 0) {
+    incounter_config cfg;
+    cfg.stats = stats;
+    if (spec.size() > 4) {
+      std::string rest = spec.substr(4);
+      const auto colon = rest.find(':');
+      if (colon != std::string::npos) {
+        if (rest.substr(colon + 1) != "noreclaim") {
+          throw std::invalid_argument("unknown counter spec: " + spec);
+        }
+        cfg.reclaim = false;
+        rest = rest.substr(0, colon);
+      }
+      cfg.grow_threshold = std::stoull(rest);
+    } else {
+      // Paper section 5: p := 1 / (25 c) where c is the core count.
+      cfg.grow_threshold = 25 * hardware_core_count();
+    }
+    return std::make_unique<incounter_factory>(cfg);
+  }
+  throw std::invalid_argument("unknown counter spec: " + spec);
+}
+
+}  // namespace spdag

@@ -1,0 +1,120 @@
+#pragma once
+// Pooled factories for dependency counters.
+//
+// The indegree-2 benchmark (paper Figure 10) creates one finish block — and
+// hence one counter — per pair of asyncs, millions of times. The factories
+// pool retired counters on a lock-free stack so allocation cost (the very
+// thing the paper's fixed-SNZI baseline suffers from at large depths) is the
+// structure's own, not malloc's.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "counter/dep_counter.hpp"
+#include "incounter/incounter.hpp"
+#include "util/treiber_stack.hpp"
+
+namespace spdag {
+
+class counter_factory {
+ public:
+  virtual ~counter_factory() = default;
+
+  // Thread-safe: pops a pooled counter (or creates one) reset to `initial`.
+  dep_counter* acquire(std::uint32_t initial);
+
+  // Thread-safe: returns a drained counter to the pool.
+  void release(dep_counter* c) { pool_.push(c); }
+
+  // Short machine name ("faa", "snzi:4", "dyn:100") and the label the paper's
+  // plots use ("Fetch & Add", "SNZI depth=4", "in-counter").
+  virtual std::string name() const = 0;
+  virtual std::string display_name() const = 0;
+
+  // Counters created over the factory's lifetime (pool effectiveness).
+  std::size_t created() const;
+
+  // A fresh, unpooled counter owned by the caller (decorators wrap these).
+  std::unique_ptr<dep_counter> make_unpooled() { return create(); }
+
+ protected:
+  virtual std::unique_ptr<dep_counter> create() = 0;
+
+ private:
+  treiber_stack<dep_counter> pool_;
+  mutable std::mutex all_mu_;
+  std::vector<std::unique_ptr<dep_counter>> all_;
+};
+
+// --- concrete factories ---
+
+class faa_factory final : public counter_factory {
+ public:
+  std::string name() const override { return "faa"; }
+  std::string display_name() const override { return "Fetch & Add"; }
+
+ protected:
+  std::unique_ptr<dep_counter> create() override;
+};
+
+class fixed_snzi_factory final : public counter_factory {
+ public:
+  explicit fixed_snzi_factory(int depth, snzi::tree_stats* stats = nullptr)
+      : depth_(depth), stats_(stats) {}
+  std::string name() const override { return "snzi:" + std::to_string(depth_); }
+  std::string display_name() const override {
+    return "SNZI depth=" + std::to_string(depth_);
+  }
+  int depth() const noexcept { return depth_; }
+
+ protected:
+  std::unique_ptr<dep_counter> create() override;
+
+ private:
+  int depth_;
+  snzi::tree_stats* stats_;
+};
+
+class incounter_factory final : public counter_factory {
+ public:
+  explicit incounter_factory(incounter_config cfg = {}) : cfg_(cfg) {}
+  std::string name() const override {
+    return "dyn:" + std::to_string(cfg_.grow_threshold) +
+           (cfg_.reclaim ? "" : ":noreclaim");
+  }
+  std::string display_name() const override { return "in-counter"; }
+  const incounter_config& config() const noexcept { return cfg_; }
+
+ protected:
+  std::unique_ptr<dep_counter> create() override;
+
+ private:
+  incounter_config cfg_;
+};
+
+class locked_factory final : public counter_factory {
+ public:
+  std::string name() const override { return "locked"; }
+  std::string display_name() const override { return "Locked (oracle)"; }
+
+ protected:
+  std::unique_ptr<dep_counter> create() override;
+};
+
+// Parses a counter spec:
+//   "faa"                         fetch-and-add cell
+//   "snzi:<depth>"                fixed-depth SNZI tree
+//   "dyn[:<threshold>]"           in-counter; default threshold = 25 * cores
+//                                 (the paper's p = 1/(25c))
+//   "dyn:<threshold>:noreclaim"   in-counter without appendix-B reclamation
+//                                 (required when the dag randomizes claim
+//                                 order, which voids Lemma 4.6's safety)
+//   "locked"                      mutex oracle (tests only)
+// Throws std::invalid_argument on anything else.
+std::unique_ptr<counter_factory> make_counter_factory(
+    const std::string& spec, snzi::tree_stats* stats = nullptr);
+
+}  // namespace spdag

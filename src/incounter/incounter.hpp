@@ -1,0 +1,79 @@
+#pragma once
+// The in-counter (paper section 3.3): a dependency counter for sp-dags built
+// on a dynamic SNZI tree.
+//
+// Handles are pointers to SNZI nodes. An increment first calls grow() on the
+// caller's increment handle — "this growth request notifies the tree of
+// possible contention in the future" — then arrives at the child on the
+// caller's side (left child if the spawning vertex is a left child), and
+// returns the two children as the increment handles for the two vertices the
+// spawn creates. The decrement token it returns is the node the arrive
+// targeted; the *inherited* decrement handle is claimed by the dag layer
+// (claim_dec) so that the handle pointing higher in the tree is always used
+// first (the ordering Lemma 4.6's proof relies on).
+
+#include <cassert>
+#include <cstdint>
+
+#include "counter/dep_counter.hpp"
+#include "snzi/tree.hpp"
+
+namespace spdag {
+
+struct incounter_config {
+  // grow() succeeds with probability 1/grow_threshold. The paper's default
+  // for measurement runs is 25 * cores; the analyzed setting is 1.
+  std::uint64_t grow_threshold = 1;
+  // Recycle drained subtrees (appendix B); only applied when threshold == 1.
+  // SAFETY CONTRACT: reclamation relies on Lemma 4.6, whose proof needs the
+  // sp-dag claim discipline (within each handle pair, the higher handle is
+  // claimed first, and increments claim only after their arrive completes).
+  // Executions that are merely valid per Definition 1 but ignore that
+  // discipline must set reclaim = false.
+  bool reclaim = true;
+  snzi::tree_stats* stats = nullptr;
+  std::size_t arena_chunk_bytes = 1 << 13;
+};
+
+class incounter final : public dep_counter {
+ public:
+  explicit incounter(std::uint32_t initial = 0, incounter_config cfg = {})
+      : tree_(initial,
+              snzi::tree_config{cfg.grow_threshold, cfg.reclaim, cfg.stats,
+                                cfg.arena_chunk_bytes}) {}
+
+  arrive_result arrive(token inc_hint, bool from_left) override {
+    auto* h = reinterpret_cast<snzi::node*>(inc_hint);
+    assert(h != nullptr && "in-counter increments require an increment handle");
+    auto [a, b] = h->grow();
+    snzi::node* d2 = from_left ? a : b;
+    d2->arrive();
+    return {reinterpret_cast<token>(d2), reinterpret_cast<token>(a),
+            reinterpret_cast<token>(b)};
+  }
+
+  bool depart(token dec) override {
+    auto* d = reinterpret_cast<snzi::node*>(dec);
+    assert(d != nullptr && "in-counter decrements require a decrement handle");
+    return d->depart();
+  }
+
+  bool is_zero() const override { return tree_.is_zero(); }
+
+  void abandon(token inc) override {
+    if (inc != 0) reinterpret_cast<snzi::node*>(inc)->retire_if_unused();
+  }
+
+  token root_token() override { return reinterpret_cast<token>(tree_.base()); }
+  bool uses_tokens() const override { return true; }
+
+  void reset(std::uint32_t n) override { tree_.reset(n); }
+
+  snzi::snzi_tree& tree() noexcept { return tree_; }
+  const snzi::snzi_tree& tree() const noexcept { return tree_; }
+
+ private:
+  snzi::snzi_tree tree_;
+};
+
+}  // namespace spdag

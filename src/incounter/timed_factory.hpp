@@ -1,0 +1,80 @@
+#pragma once
+// timed_factory: a decorator that wraps any counter_factory and records the
+// wall-clock latency of every arrive and depart into shared histograms.
+//
+// This is how the latency-distribution ablation observes contention without
+// changing the system under test: the dag engine sees an ordinary
+// dep_counter; the decorator adds two steady_clock reads around each
+// operation (~tens of ns, identical across algorithms, so *differences*
+// between algorithms are preserved).
+
+#include <chrono>
+#include <memory>
+
+#include "counter/dep_counter.hpp"
+#include "incounter/factory.hpp"
+#include "util/histogram.hpp"
+
+namespace spdag {
+
+class timed_counter final : public dep_counter {
+ public:
+  timed_counter(std::unique_ptr<dep_counter> inner, latency_histogram* arrives,
+                latency_histogram* departs)
+      : inner_(std::move(inner)), arrives_(arrives), departs_(departs) {}
+
+  arrive_result arrive(token inc_hint, bool from_left) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    const arrive_result r = inner_->arrive(inc_hint, from_left);
+    arrives_->record(elapsed_ns(t0));
+    return r;
+  }
+
+  bool depart(token dec) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool zero = inner_->depart(dec);
+    departs_->record(elapsed_ns(t0));
+    return zero;
+  }
+
+  bool is_zero() const override { return inner_->is_zero(); }
+  token root_token() override { return inner_->root_token(); }
+  bool uses_tokens() const override { return inner_->uses_tokens(); }
+  void abandon(token inc) override { inner_->abandon(inc); }
+  void reset(std::uint32_t n) override { inner_->reset(n); }
+
+ private:
+  static std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  std::unique_ptr<dep_counter> inner_;
+  latency_histogram* arrives_;
+  latency_histogram* departs_;
+};
+
+class timed_factory final : public counter_factory {
+ public:
+  timed_factory(std::unique_ptr<counter_factory> inner,
+                latency_histogram* arrives, latency_histogram* departs)
+      : inner_(std::move(inner)), arrives_(arrives), departs_(departs) {}
+
+  std::string name() const override { return inner_->name() + "+timed"; }
+  std::string display_name() const override { return inner_->display_name(); }
+
+ protected:
+  std::unique_ptr<dep_counter> create() override {
+    return std::make_unique<timed_counter>(inner_->make_unpooled(), arrives_,
+                                           departs_);
+  }
+
+ private:
+  std::unique_ptr<counter_factory> inner_;
+  latency_histogram* arrives_;
+  latency_histogram* departs_;
+};
+
+}  // namespace spdag

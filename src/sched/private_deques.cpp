@@ -1,0 +1,215 @@
+#include "sched/private_deques.hpp"
+
+#include <cassert>
+
+#include "util/backoff.hpp"
+#include "util/topology.hpp"
+
+namespace spdag {
+
+namespace {
+thread_local int tls_pd_worker_id = -1;
+thread_local private_deque_scheduler* tls_pd_scheduler = nullptr;
+}  // namespace
+
+private_deque_scheduler::private_deque_scheduler(private_deque_config cfg)
+    : cfg_(cfg) {
+  const std::size_t n = cfg_.workers == 0 ? hardware_core_count() : cfg_.workers;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<padded<worker>>());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+private_deque_scheduler::~private_deque_scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void private_deque_scheduler::enqueue(vertex* v) {
+  if (tls_pd_scheduler == this && tls_pd_worker_id >= 0) {
+    // Owner-only push; no synchronization by design.
+    workers_[static_cast<std::size_t>(tls_pd_worker_id)]->value.tasks.push_back(v);
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    injected_.push_back(v);
+    injected_size_.fetch_add(1, std::memory_order_release);
+  }
+  unpark_some();
+}
+
+vertex* private_deque_scheduler::pop_injected() {
+  if (injected_size_.load(std::memory_order_acquire) == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  if (injected_.empty()) return nullptr;
+  vertex* v = injected_.front();
+  injected_.pop_front();
+  injected_size_.fetch_sub(1, std::memory_order_release);
+  return v;
+}
+
+void private_deque_scheduler::unpark_some() {
+  if (parked_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_one();
+  }
+}
+
+void private_deque_scheduler::communicate(std::size_t id, bool can_give) {
+  worker& me = workers_[id]->value;
+  const int thief = me.request.value.load(std::memory_order_acquire);
+  if (thief == no_request) return;
+  worker& other = workers_[static_cast<std::size_t>(thief)]->value;
+  if (can_give && !me.tasks.empty()) {
+    // Serve the OLDEST task: it is the root of the largest unexplored
+    // subcomputation, the standard steal-one-from-the-top heuristic.
+    vertex* v = me.tasks.front();
+    me.tasks.pop_front();
+    other.transfer.value.store(v, std::memory_order_release);
+    me.requests_served.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    other.transfer.value.store(declined(), std::memory_order_release);
+    me.requests_declined.fetch_add(1, std::memory_order_relaxed);
+  }
+  me.request.value.store(no_request, std::memory_order_release);
+}
+
+vertex* private_deque_scheduler::try_steal(std::size_t id, std::size_t victim) {
+  worker& me = workers_[id]->value;
+  me.transfer.value.store(waiting(), std::memory_order_release);
+  int expect = no_request;
+  if (!workers_[victim]->value.request.value.compare_exchange_strong(
+          expect, static_cast<int>(id), std::memory_order_acq_rel)) {
+    return nullptr;  // another thief beat us to this victim
+  }
+  // Spin for the answer; keep declining our own incoming requests so two
+  // thieves waiting on each other cannot deadlock.
+  backoff b;
+  for (;;) {
+    vertex* v = me.transfer.value.load(std::memory_order_acquire);
+    if (v != waiting()) {
+      return v == declined() ? nullptr : v;
+    }
+    communicate(id, /*can_give=*/false);
+    if (shutdown_.load(std::memory_order_acquire)) return nullptr;
+    b.pause();
+  }
+}
+
+void private_deque_scheduler::worker_main(std::size_t id) {
+  tls_pd_worker_id = static_cast<int>(id);
+  tls_pd_scheduler = this;
+  if (cfg_.pin_threads) pin_current_thread(id);
+  xoshiro256 rng(mix64(0xa076'1d64'78bd'642fULL ^ (id + 1)));
+  worker& me = workers_[id]->value;
+
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (!me.tasks.empty()) {
+      // Busy: poll for steal requests, then run the newest task (LIFO for
+      // locality; thieves get the oldest through communicate()).
+      communicate(id, /*can_give=*/me.tasks.size() > 1);
+      vertex* v = me.tasks.back();
+      me.tasks.pop_back();
+      dag_engine* eng = engine_.load(std::memory_order_acquire);
+      assert(eng != nullptr && "work found with no engine attached");
+      const bool is_final = (v == stop_vertex_.load(std::memory_order_relaxed));
+      active_.fetch_add(1, std::memory_order_acq_rel);
+      eng->execute(v);
+      active_.fetch_sub(1, std::memory_order_acq_rel);
+      me.executions.fetch_add(1, std::memory_order_relaxed);
+      if (is_final) {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        done_.store(true, std::memory_order_release);
+        done_cv_.notify_all();
+      }
+      continue;
+    }
+
+    // Idle: decline anything pending, drain the injection queue, then go
+    // thieving.
+    communicate(id, /*can_give=*/false);
+    if (vertex* v = pop_injected()) {
+      me.tasks.push_back(v);
+      continue;
+    }
+    bool got = false;
+    for (std::size_t attempt = 0;
+         attempt < cfg_.steal_attempts_before_park && !got; ++attempt) {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng.below(workers_.size()));
+      if (victim == id) continue;
+      if (vertex* v = try_steal(id, victim)) {
+        me.tasks.push_back(v);
+        me.steals.fetch_add(1, std::memory_order_relaxed);
+        got = true;
+      } else {
+        me.failed_steals.fetch_add(1, std::memory_order_relaxed);
+        communicate(id, /*can_give=*/false);
+      }
+      if (shutdown_.load(std::memory_order_acquire)) return;
+    }
+    if (got) continue;
+
+    // Park briefly; the timeout bounds both lost wakeups and the extra
+    // latency a spinning thief sees while we sleep.
+    std::unique_lock<std::mutex> lock(park_mu_);
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    me.parks.fetch_add(1, std::memory_order_relaxed);
+    parked_.fetch_add(1, std::memory_order_acq_rel);
+    park_cv_.wait_for(lock, cfg_.park_timeout);
+    parked_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void private_deque_scheduler::run(dag_engine& engine, vertex* root,
+                                  vertex* final_v) {
+  assert(&engine.exec() == static_cast<executor*>(this) &&
+         "engine must be bound to this scheduler");
+  engine_.store(&engine, std::memory_order_release);
+  stop_vertex_.store(final_v, std::memory_order_release);
+  done_.store(false, std::memory_order_release);
+  enqueue(root);
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [this] { return done_.load(std::memory_order_acquire); });
+  }
+  backoff b;
+  while (active_.load(std::memory_order_acquire) != 0) b.pause();
+  stop_vertex_.store(nullptr, std::memory_order_release);
+}
+
+scheduler_totals private_deque_scheduler::totals() const {
+  scheduler_totals t;
+  for (const auto& w : workers_) {
+    t.executions += w->value.executions.load(std::memory_order_relaxed);
+    t.steals += w->value.steals.load(std::memory_order_relaxed);
+    t.failed_steal_sweeps += w->value.failed_steals.load(std::memory_order_relaxed);
+    t.parks += w->value.parks.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void private_deque_scheduler::reset_totals() {
+  for (auto& w : workers_) {
+    w->value.executions.store(0, std::memory_order_relaxed);
+    w->value.steals.store(0, std::memory_order_relaxed);
+    w->value.failed_steals.store(0, std::memory_order_relaxed);
+    w->value.parks.store(0, std::memory_order_relaxed);
+    w->value.requests_served.store(0, std::memory_order_relaxed);
+    w->value.requests_declined.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace spdag

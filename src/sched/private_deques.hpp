@@ -1,0 +1,110 @@
+#pragma once
+// Work stealing with private deques and explicit steal requests.
+//
+// This is the receiver-initiated algorithm of Acar, Charguéraud & Rainey,
+// "Scheduling Parallel Programs by Work Stealing with Private Deques"
+// (PPoPP'13) — reference [2] of the reproduced paper and the scheduler its
+// evaluation actually ran on. Unlike Chase-Lev, each worker's deque is a
+// plain (unsynchronized) container; thieves never touch it. Instead:
+//
+//   * every worker owns a `request` cell thieves CAS their id into, and a
+//     `transfer` cell where victims deliver;
+//   * a busy worker polls its request cell between vertex executions and
+//     answers with its OLDEST task (or a decline when it has nothing to
+//     spare);
+//   * an idle thief publishes a request to a random victim and spins on its
+//     own transfer cell — declining any incoming request while it spins,
+//     which is what makes thief-thief encounters deadlock-free.
+//
+// The trade: task execution pays zero synchronization on the deque, at the
+// cost of steal latency bounded by the victim's polling interval.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/scheduler_base.hpp"
+#include "util/cache_aligned.hpp"
+#include "util/rng.hpp"
+
+namespace spdag {
+
+struct private_deque_config {
+  std::size_t workers = 0;  // 0 = hardware_core_count()
+  bool pin_threads = false;
+  // Failed steal attempts before a worker parks.
+  std::size_t steal_attempts_before_park = 16;
+  std::chrono::microseconds park_timeout{500};
+};
+
+class private_deque_scheduler final : public scheduler_base {
+ public:
+  explicit private_deque_scheduler(private_deque_config cfg = {});
+  ~private_deque_scheduler() override;
+
+  private_deque_scheduler(const private_deque_scheduler&) = delete;
+  private_deque_scheduler& operator=(const private_deque_scheduler&) = delete;
+
+  void enqueue(vertex* v) override;
+  void run(dag_engine& engine, vertex* root, vertex* final_v) override;
+
+  std::size_t worker_count() const override { return workers_.size(); }
+  scheduler_totals totals() const override;
+  void reset_totals() override;
+
+ private:
+  static constexpr int no_request = -1;
+  // Transfer-cell sentinels (never valid vertex addresses).
+  static vertex* waiting() { return reinterpret_cast<vertex*>(std::uintptr_t{1}); }
+  static vertex* declined() { return reinterpret_cast<vertex*>(std::uintptr_t{2}); }
+
+  // Stat counters are relaxed atomics: worker-local (uncontended) on the
+  // hot path, but totals()/reset_totals() may run while idle workers are
+  // still bumping their park counts.
+  struct worker {
+    std::deque<vertex*> tasks;  // private: owner-only
+    cache_aligned<std::atomic<int>> request{no_request};
+    cache_aligned<std::atomic<vertex*>> transfer{nullptr};
+    std::atomic<std::uint64_t> executions{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> failed_steals{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> requests_served{0};
+    std::atomic<std::uint64_t> requests_declined{0};
+  };
+
+  void worker_main(std::size_t id);
+  // Answers a pending steal request; `can_give` = serve the oldest task,
+  // otherwise decline.
+  void communicate(std::size_t id, bool can_give);
+  vertex* try_steal(std::size_t id, std::size_t victim);
+  vertex* pop_injected();
+  void unpark_some();
+
+  private_deque_config cfg_;
+  std::vector<std::unique_ptr<padded<worker>>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex inject_mu_;
+  std::deque<vertex*> injected_;
+  std::atomic<std::size_t> injected_size_{0};
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<int> parked_{0};
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<dag_engine*> engine_{nullptr};
+  std::atomic<vertex*> stop_vertex_{nullptr};
+  std::atomic<int> active_{0};
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::atomic<bool> done_{true};
+};
+
+}  // namespace spdag

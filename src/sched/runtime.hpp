@@ -1,0 +1,85 @@
+#pragma once
+// runtime: the one-stop facade tying together a counter factory, a dag
+// engine, and a scheduler.
+//
+//   spdag::runtime rt({.workers = 4, .counter = "dyn"});
+//   rt.run([] { spdag::fork2([]{ work(); }, []{ work(); }); });
+//
+// Each run() builds a fresh (root, final) pair with make(), installs the
+// given closure as the root body, and blocks until the final vertex runs.
+//
+// Scheduler specs: "ws" (concurrent Chase-Lev deques, the default) or
+// "private" (private deques with explicit steal requests, the PPoPP'13
+// algorithm the reproduced paper's own evaluation used).
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "dag/engine.hpp"
+#include "incounter/factory.hpp"
+#include "sched/private_deques.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/scheduler_base.hpp"
+
+namespace spdag {
+
+struct runtime_config {
+  std::size_t workers = 0;     // 0 = hardware_core_count()
+  std::string counter = "dyn"; // counter spec, see make_counter_factory
+  bool pin_threads = false;
+  snzi::tree_stats* snzi_stats = nullptr;
+  dag_engine_options engine_options = {};
+  std::string sched = "ws";    // "ws" | "private"
+};
+
+// Builds a scheduler from its spec string.
+inline std::unique_ptr<scheduler_base> make_scheduler(const std::string& spec,
+                                                      std::size_t workers,
+                                                      bool pin_threads) {
+  if (spec == "ws") {
+    return std::make_unique<scheduler>(
+        scheduler_config{workers, pin_threads, /*steal_sweeps_before_park=*/4,
+                         std::chrono::microseconds{500}});
+  }
+  if (spec == "private") {
+    return std::make_unique<private_deque_scheduler>(
+        private_deque_config{workers, pin_threads,
+                             /*steal_attempts_before_park=*/16,
+                             std::chrono::microseconds{500}});
+  }
+  throw std::invalid_argument("unknown scheduler spec: " + spec);
+}
+
+class runtime {
+ public:
+  explicit runtime(runtime_config cfg = {})
+      : factory_(make_counter_factory(cfg.counter, cfg.snzi_stats)),
+        sched_(make_scheduler(cfg.sched, cfg.workers, cfg.pin_threads)),
+        engine_(*factory_, *sched_, cfg.engine_options) {}
+
+  runtime(const runtime&) = delete;
+  runtime& operator=(const runtime&) = delete;
+
+  // Runs `root_body` as the root of a fresh sp-dag to completion (blocking).
+  template <typename F>
+  void run(F&& root_body) {
+    auto [root, final_v] = engine_.make();
+    root->body = std::forward<F>(root_body);
+    sched_->run(engine_, root, final_v);
+  }
+
+  dag_engine& engine() noexcept { return engine_; }
+  scheduler_base& sched() noexcept { return *sched_; }
+  counter_factory& factory() noexcept { return *factory_; }
+  std::size_t workers() const noexcept { return sched_->worker_count(); }
+
+ private:
+  std::unique_ptr<counter_factory> factory_;
+  std::unique_ptr<scheduler_base> sched_;
+  dag_engine engine_;
+};
+
+}  // namespace spdag

@@ -1,0 +1,166 @@
+#include "sched/scheduler.hpp"
+
+#include <cassert>
+
+#include "util/backoff.hpp"
+#include "util/topology.hpp"
+
+namespace spdag {
+
+namespace {
+thread_local int tls_worker_id = -1;
+thread_local scheduler* tls_scheduler = nullptr;
+}  // namespace
+
+int scheduler::current_worker_id() noexcept { return tls_worker_id; }
+
+scheduler::scheduler(scheduler_config cfg) : cfg_(cfg) {
+  const std::size_t n = cfg_.workers == 0 ? hardware_core_count() : cfg_.workers;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<padded<worker>>());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+scheduler::~scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void scheduler::enqueue(vertex* v) {
+  if (tls_scheduler == this && tls_worker_id >= 0) {
+    workers_[static_cast<std::size_t>(tls_worker_id)]->value.deque.push_bottom(v);
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    injected_.push_back(v);
+    injected_size_.fetch_add(1, std::memory_order_release);
+  }
+  unpark_some();
+}
+
+vertex* scheduler::pop_injected() {
+  if (injected_size_.load(std::memory_order_acquire) == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  if (injected_.empty()) return nullptr;
+  vertex* v = injected_.front();
+  injected_.pop_front();
+  injected_size_.fetch_sub(1, std::memory_order_release);
+  return v;
+}
+
+void scheduler::unpark_some() {
+  if (parked_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_one();
+  }
+}
+
+vertex* scheduler::find_work(std::size_t id, xoshiro256& rng) {
+  worker& me = workers_[id]->value;
+  if (vertex* v = me.deque.pop_bottom()) return v;
+  if (vertex* v = pop_injected()) return v;
+  // Steal sweeps: random victims, a few rounds, then report failure so the
+  // caller can park.
+  const std::size_t n = workers_.size();
+  for (std::size_t sweep = 0; sweep < cfg_.steal_sweeps_before_park; ++sweep) {
+    for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
+      const std::size_t victim = static_cast<std::size_t>(rng.below(n));
+      if (victim == id) continue;
+      if (vertex* v = workers_[victim]->value.deque.steal_top()) {
+        me.steals.fetch_add(1, std::memory_order_relaxed);
+        return v;
+      }
+    }
+    if (vertex* v = pop_injected()) return v;
+    cpu_relax();
+  }
+  me.failed_steal_sweeps.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void scheduler::worker_main(std::size_t id) {
+  tls_worker_id = static_cast<int>(id);
+  tls_scheduler = this;
+  if (cfg_.pin_threads) pin_current_thread(id);
+  xoshiro256 rng(mix64(0x9e3779b97f4a7c15ULL ^ (id + 1)));
+
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    vertex* v = find_work(id, rng);
+    if (v != nullptr) {
+      dag_engine* eng = engine_.load(std::memory_order_acquire);
+      assert(eng != nullptr && "work found with no engine attached");
+      const bool is_final = (v == stop_vertex_.load(std::memory_order_relaxed));
+      active_.fetch_add(1, std::memory_order_acq_rel);
+      eng->execute(v);
+      active_.fetch_sub(1, std::memory_order_acq_rel);
+      workers_[id]->value.executions.fetch_add(1, std::memory_order_relaxed);
+      if (is_final) {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        done_.store(true, std::memory_order_release);
+        done_cv_.notify_all();
+      }
+      continue;
+    }
+    // Out of work: park briefly. The timeout (rather than precise wakeup
+    // accounting) keeps the protocol simple and bounds lost-wakeup cost.
+    std::unique_lock<std::mutex> lock(park_mu_);
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    workers_[id]->value.parks.fetch_add(1, std::memory_order_relaxed);
+    parked_.fetch_add(1, std::memory_order_acq_rel);
+    park_cv_.wait_for(lock, cfg_.park_timeout);
+    parked_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void scheduler::run(dag_engine& engine, vertex* root, vertex* final_v) {
+  assert(&engine.exec() == static_cast<executor*>(this) &&
+         "engine must be bound to this scheduler");
+  engine_.store(&engine, std::memory_order_release);
+  stop_vertex_.store(final_v, std::memory_order_release);
+  done_.store(false, std::memory_order_release);
+  enqueue(root);
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [this] { return done_.load(std::memory_order_acquire); });
+  }
+  // The final vertex ran, but a worker may still be in the epilogue of a
+  // chained/spawned vertex (recycling it). Spin out the stragglers so that
+  // returning from run() implies every vertex has been recycled.
+  backoff b;
+  while (active_.load(std::memory_order_acquire) != 0) b.pause();
+  stop_vertex_.store(nullptr, std::memory_order_release);
+}
+
+scheduler_totals scheduler::totals() const {
+  scheduler_totals t;
+  for (const auto& w : workers_) {
+    t.executions += w->value.executions.load(std::memory_order_relaxed);
+    t.steals += w->value.steals.load(std::memory_order_relaxed);
+    t.failed_steal_sweeps += w->value.failed_steal_sweeps.load(std::memory_order_relaxed);
+    t.parks += w->value.parks.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void scheduler::reset_totals() {
+  for (auto& w : workers_) {
+    w->value.executions.store(0, std::memory_order_relaxed);
+    w->value.steals.store(0, std::memory_order_relaxed);
+    w->value.failed_steal_sweeps.store(0, std::memory_order_relaxed);
+    w->value.parks.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace spdag

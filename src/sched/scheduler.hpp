@@ -1,0 +1,104 @@
+#pragma once
+// Work-stealing scheduler for sp-dags.
+//
+// One Chase-Lev deque per worker; the owner treats it as a LIFO stack
+// (mirrors serial execution order, keeps the working set hot), thieves take
+// the oldest (largest) task from a uniformly random victim. Idle workers
+// back off and then park on a condition variable with a short timeout, which
+// matters doubly on oversubscribed hosts where spinning steals the mutator's
+// cycles. This is the substrate role played in the paper by the authors'
+// PASL work-stealing scheduler [2].
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dag/engine.hpp"
+#include "sched/chase_lev.hpp"
+#include "sched/scheduler_base.hpp"
+#include "util/cache_aligned.hpp"
+#include "util/rng.hpp"
+
+namespace spdag {
+
+struct scheduler_config {
+  std::size_t workers = 0;  // 0 = hardware_core_count()
+  bool pin_threads = false;
+  // Failed steal sweeps before a worker parks.
+  std::size_t steal_sweeps_before_park = 4;
+  // Park timeout; bounds the cost of a lost wakeup.
+  std::chrono::microseconds park_timeout{500};
+};
+
+class scheduler final : public scheduler_base {
+ public:
+  explicit scheduler(scheduler_config cfg = {});
+  ~scheduler() override;
+
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+
+  // executor: called by the dag engine when a vertex becomes ready, and by
+  // external threads to inject roots. Worker threads push to their own
+  // deque; everyone else goes through the injection queue.
+  void enqueue(vertex* v) override;
+
+  // Executes the dag rooted at `root` until `final_v` has run. Blocking;
+  // call from a non-worker thread. The engine must use this scheduler as
+  // its executor.
+  void run(dag_engine& engine, vertex* root, vertex* final_v) override;
+
+  std::size_t worker_count() const noexcept override { return workers_.size(); }
+  scheduler_totals totals() const override;
+  void reset_totals() override;
+
+  // Index of the calling worker thread, or -1 for external threads.
+  static int current_worker_id() noexcept;
+
+ private:
+  // Per-worker counters are relaxed atomics: they are worker-local on the
+  // hot path (uncontended), but totals()/reset_totals() may run while idle
+  // workers are still bumping their park counts.
+  struct worker {
+    chase_lev_deque<vertex> deque;
+    std::atomic<std::uint64_t> executions{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> failed_steal_sweeps{0};
+    std::atomic<std::uint64_t> parks{0};
+  };
+
+  void worker_main(std::size_t id);
+  vertex* find_work(std::size_t id, xoshiro256& rng);
+  vertex* pop_injected();
+  void unpark_some();
+
+  scheduler_config cfg_;
+  std::vector<std::unique_ptr<padded<worker>>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex inject_mu_;
+  std::deque<vertex*> injected_;
+  std::atomic<std::size_t> injected_size_{0};
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<int> parked_{0};
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<dag_engine*> engine_{nullptr};
+  std::atomic<vertex*> stop_vertex_{nullptr};
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::atomic<bool> done_{true};
+  // Workers executing a vertex right now; run() returns only at zero, so a
+  // completed run implies full quiescence (every vertex recycled).
+  std::atomic<int> active_{0};
+};
+
+}  // namespace spdag

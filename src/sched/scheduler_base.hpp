@@ -1,0 +1,40 @@
+#pragma once
+// Common interface for sp-dag schedulers.
+//
+// Two implementations are provided:
+//   * scheduler               — concurrent Chase-Lev deques (classic work
+//                               stealing, Blumofe-Leiserson / Arora et al.)
+//   * private_deque_scheduler — private deques with explicit steal requests
+//                               (Acar, Charguéraud & Rainey, PPoPP'13 — the
+//                               scheduler the paper's own evaluation used)
+// Both are executors (the dag engine pushes ready vertices through
+// enqueue) plus a blocking run-to-completion entry point.
+
+#include <cstddef>
+
+#include "dag/engine.hpp"
+
+namespace spdag {
+
+struct scheduler_totals {
+  std::uint64_t executions = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steal_sweeps = 0;
+  std::uint64_t parks = 0;
+};
+
+class scheduler_base : public executor {
+ public:
+  ~scheduler_base() override = default;
+
+  // Executes the dag rooted at `root` until `final_v` has run and every
+  // vertex has been recycled (quiescence). Blocking; call from a non-worker
+  // thread. The engine must use this scheduler as its executor.
+  virtual void run(dag_engine& engine, vertex* root, vertex* final_v) = 0;
+
+  virtual std::size_t worker_count() const = 0;
+  virtual scheduler_totals totals() const = 0;
+  virtual void reset_totals() = 0;
+};
+
+}  // namespace spdag

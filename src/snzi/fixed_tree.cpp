@@ -1,0 +1,43 @@
+#include "snzi/fixed_tree.hpp"
+
+#include <stdexcept>
+
+namespace spdag::snzi {
+
+fixed_tree::fixed_tree(int depth, std::uint64_t initial_surplus, tree_stats* stats)
+    : depth_(depth),
+      tree_(0, tree_config{/*grow_threshold=*/1, /*reclaim=*/false, stats,
+                           /*arena_chunk_bytes=*/1 << 13}) {
+  if (depth < 0 || depth > 24) {
+    throw std::invalid_argument("fixed_tree depth out of range [0, 24]");
+  }
+  build();
+  // The initial surplus lives at the same hashed leaf root_token-style
+  // departs will target (key 0), keeping arrive/depart placement matched.
+  for (std::uint64_t i = 0; i < initial_surplus; ++i) leaf_for(0)->arrive();
+}
+
+void fixed_tree::build() {
+  // Grow eagerly, level by level, using the dynamic grow with threshold 1;
+  // the final frontier becomes the hashed-placement leaf set.
+  std::vector<node*> frontier{tree_.base()};
+  for (int level = 0; level < depth_; ++level) {
+    std::vector<node*> next;
+    next.reserve(frontier.size() * 2);
+    for (node* n : frontier) {
+      auto [l, r] = n->grow(/*threshold=*/1);
+      next.push_back(l);
+      next.push_back(r);
+    }
+    frontier = std::move(next);
+  }
+  leaves_ = std::move(frontier);
+}
+
+void fixed_tree::reset(std::uint64_t initial_surplus) {
+  tree_.reset(0);
+  build();
+  for (std::uint64_t i = 0; i < initial_surplus; ++i) leaf_for(0)->arrive();
+}
+
+}  // namespace spdag::snzi

@@ -1,0 +1,62 @@
+#pragma once
+// Fixed-depth SNZI tree with hashed leaf placement (paper section 5).
+//
+// This is the paper's second baseline: "The fixed-depth SNZI algorithm
+// allocates for each finish block a SNZI tree of 2^{d+1} - 1 nodes, for a
+// given depth d. [...] we map DAG vertices to SNZI nodes using a hash
+// function to ensure that operations are spread evenly across the SNZI
+// tree." Every depart must target the node its matching arrive targeted, so
+// arrive() returns the leaf for the caller to retain.
+
+#include <cstdint>
+#include <vector>
+
+#include "snzi/tree.hpp"
+#include "util/rng.hpp"
+
+namespace spdag::snzi {
+
+class fixed_tree {
+ public:
+  // depth 0 is a single node (the base); depth d has 2^{d+1} - 1 nodes.
+  explicit fixed_tree(int depth, std::uint64_t initial_surplus = 0,
+                      tree_stats* stats = nullptr);
+
+  fixed_tree(const fixed_tree&) = delete;
+  fixed_tree& operator=(const fixed_tree&) = delete;
+
+  // The leaf a given placement key maps to.
+  node* leaf_for(std::uint64_t key) noexcept {
+    return leaves_[mix64(key) % leaves_.size()];
+  }
+
+  // Arrive at the hashed leaf; the returned node must be passed to depart().
+  node* arrive(std::uint64_t key) noexcept {
+    node* leaf = leaf_for(key);
+    leaf->arrive();
+    return leaf;
+  }
+
+  // Returns true iff the tree surplus reached zero.
+  bool depart(node* leaf) noexcept { return leaf->depart(); }
+
+  bool query() const noexcept { return tree_.query(); }
+  bool is_zero() const noexcept { return tree_.is_zero(); }
+
+  int depth() const noexcept { return depth_; }
+  std::size_t leaf_count() const noexcept { return leaves_.size(); }
+  std::size_t node_count() const { return tree_.node_count(); }
+  snzi_tree& tree() noexcept { return tree_; }
+
+  // Non-concurrent reuse.
+  void reset(std::uint64_t initial_surplus);
+
+ private:
+  void build();
+
+  int depth_;
+  snzi_tree tree_;
+  std::vector<node*> leaves_;
+};
+
+}  // namespace spdag::snzi

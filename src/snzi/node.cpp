@@ -1,0 +1,192 @@
+#include "snzi/node.hpp"
+
+#include "util/rng.hpp"
+
+namespace spdag::snzi {
+
+namespace {
+
+// Tagged-pointer packing for the free-pair stack: 48-bit pointer, 16-bit tag.
+// x86-64/AArch64 user pointers fit in 48 bits; the monotone tag defeats ABA
+// between a pop's head read and its CAS.
+constexpr std::uint64_t ptr_mask = (1ULL << 48) - 1;
+
+std::uint64_t pack_tagged(child_pair* p, std::uint64_t tag) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & ptr_mask) | (tag << 48);
+}
+child_pair* ptr_of(std::uint64_t v) noexcept {
+  return reinterpret_cast<child_pair*>(v & ptr_mask);
+}
+std::uint64_t tag_of(std::uint64_t v) noexcept { return v >> 48; }
+
+}  // namespace
+
+void free_pair_push(tree_context& ctx, child_pair* pair) noexcept {
+  std::uint64_t head = ctx.free_pairs.load(std::memory_order_acquire);
+  for (;;) {
+    pair->next_free.store(ptr_of(head), std::memory_order_relaxed);
+    const std::uint64_t fresh = pack_tagged(pair, tag_of(head) + 1);
+    if (ctx.free_pairs.compare_exchange_weak(head, fresh, std::memory_order_release,
+                                             std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+child_pair* free_pair_pop(tree_context& ctx) noexcept {
+  std::uint64_t head = ctx.free_pairs.load(std::memory_order_acquire);
+  for (;;) {
+    child_pair* top = ptr_of(head);
+    if (top == nullptr) return nullptr;
+    child_pair* next = top->next_free.load(std::memory_order_relaxed);
+    const std::uint64_t fresh = pack_tagged(next, tag_of(head) + 1);
+    if (ctx.free_pairs.compare_exchange_weak(head, fresh, std::memory_order_acquire,
+                                             std::memory_order_acquire)) {
+      return top;
+    }
+  }
+}
+
+std::size_t free_pair_count(const tree_context& ctx) noexcept {
+  std::size_t n = 0;
+  for (child_pair* p = ptr_of(ctx.free_pairs.load(std::memory_order_acquire));
+       p != nullptr; p = p->next_free.load(std::memory_order_relaxed)) {
+    ++n;
+  }
+  return n;
+}
+
+int node::arrive() noexcept {
+  visit();
+  stat_add(ctx_->stats, &tree_stats::arrives);
+  int hops = 1;
+  int undo = 0;
+  bool succ = false;
+  while (!succ) {
+    std::uint64_t x = cv_.load(std::memory_order_acquire);
+    const std::uint32_t h = half_of(x);
+    const std::uint32_t v = ver_of(x);
+    if (h >= 2) {
+      // Surplus already positive: a plain increment, no propagation.
+      if (cv_.compare_exchange_strong(x, pack(h + 2, v), std::memory_order_seq_cst,
+                                      std::memory_order_acquire)) {
+        succ = true;
+      } else {
+        stat_add(ctx_->stats, &tree_stats::cas_failures);
+      }
+      continue;
+    }
+    if (h == 0) {
+      // Begin a 0 -> 1 transition by installing the intermediate 1/2 state.
+      if (!cv_.compare_exchange_strong(x, pack(1, v + 1), std::memory_order_seq_cst,
+                                       std::memory_order_acquire)) {
+        stat_add(ctx_->stats, &tree_stats::cas_failures);
+        continue;
+      }
+      succ = true;
+      x = pack(1, v + 1);
+    }
+    // Here half_of(x) == 1: either we installed 1/2 just now (succ == true)
+    // or we read another thread's in-flight transition (succ == false).
+    // Either way, make sure the parent has heard about this node's surplus
+    // before committing 1/2 -> 1 (SNZI invariant 1).
+    hops += arrive_parent();
+    std::uint64_t expect = x;
+    if (!cv_.compare_exchange_strong(expect, pack(2, ver_of(x)),
+                                     std::memory_order_seq_cst,
+                                     std::memory_order_acquire)) {
+      // Someone else committed (or the state moved on): our parent arrival
+      // is superfluous and must be undone after we finish.
+      ++undo;
+    }
+  }
+  while (undo-- > 0) {
+    stat_add(ctx_->stats, &tree_stats::undo_departs);
+    depart_parent();
+  }
+  return hops;
+}
+
+bool node::depart() noexcept {
+  visit();
+  stat_add(ctx_->stats, &tree_stats::departs);
+  std::uint64_t x = cv_.load(std::memory_order_acquire);
+  for (;;) {
+    const std::uint32_t h = half_of(x);
+    const std::uint32_t v = ver_of(x);
+    assert(h >= 2 && "depart on a node without surplus (invalid execution)");
+    if (cv_.compare_exchange_strong(x, pack(h - 2, v), std::memory_order_seq_cst,
+                                    std::memory_order_acquire)) {
+      if (h == 2) {
+        // Phase change: this node's surplus returned to zero.
+        const bool zero = depart_parent();
+        if (ctx_->reclaim) retire();
+        return zero;
+      }
+      return false;
+    }
+    stat_add(ctx_->stats, &tree_stats::cas_failures);
+  }
+}
+
+int node::arrive_parent() noexcept {
+  return parent_ != nullptr ? parent_->arrive() : ctx_->root->arrive();
+}
+
+bool node::depart_parent() noexcept {
+  return parent_ != nullptr ? parent_->depart() : ctx_->root->depart();
+}
+
+std::pair<node*, node*> node::grow(std::uint64_t threshold) noexcept {
+  stat_add(ctx_->stats, &tree_stats::grow_calls);
+  // Flip the coin BEFORE reading the children pointer that determines the
+  // return value (section 2: an adversary blind to local coin flips can
+  // force at most `threshold` childless returns in expectation).
+  const bool heads =
+      threshold == 1 || (threshold != 0 && thread_rng().below(threshold) == 0);
+  if (heads && children_.load(std::memory_order_acquire) == nullptr) {
+    child_pair* pair = free_pair_pop(*ctx_);
+    const bool reused = pair != nullptr;
+    if (pair == nullptr) pair = ctx_->arena->create<child_pair>();
+    pair->left.init(this, pair, ctx_);
+    pair->right.init(this, pair, ctx_);
+    pair->retired.store(0, std::memory_order_relaxed);
+    child_pair* expect = nullptr;
+    if (children_.compare_exchange_strong(expect, pair, std::memory_order_seq_cst,
+                                          std::memory_order_acquire)) {
+      stat_add(ctx_->stats,
+               reused ? &tree_stats::grow_reuses : &tree_stats::grow_allocs);
+    } else {
+      // Lost the race: return the unused pair to the pool.
+      stat_add(ctx_->stats, &tree_stats::grow_lost_races);
+      free_pair_push(*ctx_, pair);
+    }
+  }
+  child_pair* kids = children_.load(std::memory_order_acquire);
+  if (kids == nullptr) {
+    stat_add(ctx_->stats, &tree_stats::grow_childless);
+    return {this, this};
+  }
+  return {&kids->left, &kids->right};
+}
+
+void node::retire() noexcept {
+  child_pair* pair = self_pair_;
+  if (pair == nullptr) return;  // the base node is never recycled
+  stat_add(ctx_->stats, &tree_stats::retires);
+  if (pair->retired.fetch_add(1, std::memory_order_acq_rel) + 1 == 2) {
+    // Both siblings drained. With grow threshold 1 the paper proves
+    // (Lemma 4.6 / appendix B) that no live handle can reach this pair or
+    // its parent's grow path again, so unlink and recycle.
+    assert(parent_ != nullptr && "pair members always have a node parent");
+    child_pair* expect = pair;
+    if (parent_->children_.compare_exchange_strong(expect, nullptr,
+                                                   std::memory_order_seq_cst,
+                                                   std::memory_order_acquire)) {
+      stat_add(ctx_->stats, &tree_stats::pair_recycles);
+      free_pair_push(*ctx_, pair);
+    }
+  }
+}
+
+}  // namespace spdag::snzi

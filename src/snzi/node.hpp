@@ -1,0 +1,155 @@
+#pragma once
+// SNZI hierarchical node with the dynamic `grow` extension (paper section 2).
+//
+// The per-node protocol is the original SNZI algorithm of Ellen et al.
+// (PODC'07, Figure "hierarchical SNZI object"): the node word packs a counter
+// in *half units* (so the intermediate 1/2 state used to make a 0 -> positive
+// transition atomic w.r.t. the parent arrival is exact integer arithmetic)
+// together with a version number that serializes 1/2 -> 1 commits.
+//
+// grow() is this paper's extension: a childless node may be extended with a
+// freshly allocated pair of children, guarded by a 1/threshold-biased coin
+// flipped BEFORE the children pointer is read (section 2 explains why the
+// order matters: an adversary that cannot see local coin flips cannot force
+// more than `threshold` childless returns in expectation).
+//
+// Reclamation (appendix B): with threshold == 1 the paper proves that a node
+// whose surplus returned to zero can never be reached again, so when both
+// nodes of a child pair have phase-changed back to zero the pair is unlinked
+// from its parent and pushed onto a recycling pool that grow() consults
+// before bump-allocating from the arena.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "snzi/root.hpp"
+#include "snzi/stats.hpp"
+#include "util/arena.hpp"
+#include "util/cache_aligned.hpp"
+
+namespace spdag::snzi {
+
+class node;
+struct child_pair;
+
+// Shared context: every node of one tree points here.
+struct tree_context {
+  root_node* root = nullptr;
+  block_arena* arena = nullptr;
+  tree_stats* stats = nullptr;               // nullable
+  std::atomic<std::uint64_t> free_pairs{0};  // tagged-pointer Treiber stack
+  std::uint64_t grow_threshold = 1;          // p = 1/grow_threshold; 0 = never grow
+  bool reclaim = false;                      // appendix-B recycling (threshold==1 only)
+};
+
+class alignas(cache_line_size) node {
+ public:
+  node() = default;
+  node(const node&) = delete;
+  node& operator=(const node&) = delete;
+
+  // (Re)initializes this node as a fresh zero-surplus member of `ctx`'s tree.
+  // `parent == nullptr` means the parent is the tree root. Non-concurrent.
+  void init(node* parent, child_pair* self_pair, tree_context* ctx) noexcept {
+    cv_.store(pack(0, 0), std::memory_order_relaxed);
+    children_.store(nullptr, std::memory_order_relaxed);
+    parent_ = parent;
+    self_pair_ = self_pair;
+    ctx_ = ctx;
+    ops_.store(0, std::memory_order_relaxed);
+  }
+
+  // SNZI arrive: adds one surplus at this node, propagating a phase change
+  // to the parent. Returns the number of nodes visited including the root
+  // (>= 1); with grow probability 1 the paper proves this is <= 3 amortized.
+  int arrive() noexcept;
+
+  // SNZI depart: removes one surplus. Requires surplus >= 1 here (valid
+  // executions only pass decrement handles returned by prior increments).
+  // Returns true iff the *root* surplus reached zero due to this depart.
+  bool depart() noexcept;
+
+  // Retires this node if it was never arrived at (version 0, no surplus, no
+  // children) — the Theorem B.3 case: a vertex that signals without ever
+  // using its increment handle abandons the handle's node, and since the
+  // handle was unique (Lemma 4.3) nobody can ever reach the node again.
+  // No-op unless the tree reclaims. Never races with a depart-side retire:
+  // those require a prior arrive, which makes version() nonzero.
+  void retire_if_unused() noexcept {
+    if (ctx_->reclaim && surplus_half() == 0 && version() == 0 &&
+        !has_children()) {
+      retire();
+    }
+  }
+
+  // Dynamic-SNZI grow (paper Figure 2). Returns this node's children,
+  // creating them (coin-flip permitting) if absent; returns (this, this)
+  // when the node remains childless.
+  std::pair<node*, node*> grow() noexcept { return grow(ctx_->grow_threshold); }
+  std::pair<node*, node*> grow(std::uint64_t threshold) noexcept;
+
+  // --- introspection (tests / space accounting) ---
+  bool has_children() const noexcept {
+    return children_.load(std::memory_order_acquire) != nullptr;
+  }
+  child_pair* children() const noexcept {
+    return children_.load(std::memory_order_acquire);
+  }
+  node* parent() const noexcept { return parent_; }
+  tree_context* context() const noexcept { return ctx_; }
+  // Surplus in half units: 0 = zero, 1 = the transient 1/2 state, 2k = k.
+  std::uint32_t surplus_half() const noexcept {
+    return half_of(cv_.load(std::memory_order_acquire));
+  }
+  std::uint32_t version() const noexcept {
+    return ver_of(cv_.load(std::memory_order_acquire));
+  }
+  std::uint32_t ops() const noexcept { return ops_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr std::uint64_t pack(std::uint32_t half, std::uint32_t ver) noexcept {
+    return static_cast<std::uint64_t>(half) | (static_cast<std::uint64_t>(ver) << 32);
+  }
+  static constexpr std::uint32_t half_of(std::uint64_t x) noexcept {
+    return static_cast<std::uint32_t>(x);
+  }
+  static constexpr std::uint32_t ver_of(std::uint64_t x) noexcept {
+    return static_cast<std::uint32_t>(x >> 32);
+  }
+
+  int arrive_parent() noexcept;
+  bool depart_parent() noexcept;
+  void retire() noexcept;
+  void visit() noexcept {
+    if (ctx_->stats != nullptr) ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> cv_{0};
+  std::atomic<child_pair*> children_{nullptr};
+  node* parent_ = nullptr;         // nullptr => parent is ctx_->root
+  child_pair* self_pair_ = nullptr;  // pair containing this node; nullptr for base
+  tree_context* ctx_ = nullptr;
+  std::atomic<std::uint32_t> ops_{0};  // instrumentation only
+};
+
+static_assert(sizeof(node) == cache_line_size,
+              "a SNZI node must own exactly one cache line");
+
+// Two sibling nodes allocated together so grow() installs both with one CAS.
+// Each node is cache-line aligned; `retired` counts siblings whose surplus
+// phase-changed back to zero (2 => the pair is recyclable, appendix B).
+struct child_pair {
+  node left;
+  node right;
+  std::atomic<child_pair*> next_free{nullptr};
+  std::atomic<std::uint32_t> retired{0};
+};
+
+// --- recycling pool (tagged-pointer Treiber stack; tag defeats ABA) ---
+void free_pair_push(tree_context& ctx, child_pair* pair) noexcept;
+child_pair* free_pair_pop(tree_context& ctx) noexcept;
+std::size_t free_pair_count(const tree_context& ctx) noexcept;
+
+}  // namespace spdag::snzi

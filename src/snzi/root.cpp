@@ -1,0 +1,66 @@
+#include "snzi/root.hpp"
+
+namespace spdag::snzi {
+
+int root_node::arrive() noexcept {
+  visit();
+  stat_add(stats_, &tree_stats::root_arrives);
+  std::uint64_t x = x_.value.load(std::memory_order_acquire);
+  std::uint64_t nx;
+  bool transitioned;
+  for (;;) {
+    const std::uint32_t c = count_of(x);
+    const std::uint32_t e = epoch_of(x);
+    if (c == 0) {
+      nx = pack(1, e + 1);  // new positive epoch
+      transitioned = true;
+    } else {
+      nx = pack(c + 1, e);
+      transitioned = false;
+    }
+    if (x_.value.compare_exchange_strong(x, nx, std::memory_order_seq_cst,
+                                         std::memory_order_acquire)) {
+      break;
+    }
+    stat_add(stats_, &tree_stats::cas_failures);
+  }
+  if (transitioned) publish(true, epoch_of(nx));
+  return 1;
+}
+
+bool root_node::depart() noexcept {
+  visit();
+  stat_add(stats_, &tree_stats::root_departs);
+  std::uint64_t x = x_.value.load(std::memory_order_acquire);
+  for (;;) {
+    const std::uint32_t c = count_of(x);
+    const std::uint32_t e = epoch_of(x);
+    assert(c >= 1 && "depart on a root with zero surplus");
+    if (x_.value.compare_exchange_strong(x, pack(c - 1, e),
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_acquire)) {
+      if (c >= 2) return false;
+      publish(false, e);  // this depart zeroed epoch e
+      return true;
+    }
+    stat_add(stats_, &tree_stats::cas_failures);
+  }
+}
+
+void root_node::publish(bool flag, std::uint32_t epoch) noexcept {
+  const std::uint64_t mine = pack_i(flag, epoch);
+  const std::uint64_t my_key = key_of_i(mine);
+  std::uint64_t cur = i_.value.load(std::memory_order_acquire);
+  while (key_of_i(cur) < my_key) {
+    if (i_.value.compare_exchange_weak(cur, mine, std::memory_order_seq_cst,
+                                       std::memory_order_acquire)) {
+      stat_add(stats_, &tree_stats::indicator_writes);
+      return;
+    }
+    stat_add(stats_, &tree_stats::cas_failures);
+  }
+  // A publication with a newer (or equal) key is already installed; our
+  // state is stale and must not overwrite it.
+}
+
+}  // namespace spdag::snzi

@@ -1,0 +1,108 @@
+#pragma once
+// SNZI root node: the non-zero indicator itself.
+//
+// Follows SNZI-R from Ellen et al. (PODC'07): the root keeps a surplus word X
+// that children CAS on phase changes, plus a separate indicator word I that
+// `query` reads without ever writing, so queries stay contention-free.
+//
+// Publication protocol. The original SNZI-R orders indicator writes with an
+// announce bit and version re-validation. We implement the same interface and
+// contention profile with a version-*stamped* indicator word instead: X packs
+// (count, epoch) where the epoch advances on every 0 -> 1 transition, and I
+// packs (flag, epoch, phase). Indicator publications carry a totally ordered
+// key (epoch, then true-before-false within an epoch) and a CAS loop only
+// ever moves I forward, so a stale writer can never clobber a newer state.
+// This is easier to verify than announce-bit revalidation and performs the
+// same number of non-trivial steps per phase change.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "snzi/stats.hpp"
+#include "util/cache_aligned.hpp"
+
+namespace spdag::snzi {
+
+class root_node {
+ public:
+  explicit root_node(std::uint32_t initial_surplus = 0,
+                     tree_stats* stats = nullptr) noexcept
+      : stats_(stats) {
+    reset(initial_surplus);
+  }
+
+  root_node(const root_node&) = delete;
+  root_node& operator=(const root_node&) = delete;
+
+  // Increments the root surplus; publishes indicator=true on a 0 -> 1
+  // transition. Returns the number of nodes visited (always 1; the return
+  // type mirrors node::arrive for instrumentation).
+  int arrive() noexcept;
+
+  // Decrements the root surplus. Returns true iff *this* depart took the
+  // surplus to zero — the property the in-counter uses for readiness
+  // detection (paper section 5, "Implementation").
+  bool depart() noexcept;
+
+  // True iff there have been more arrives than departs. Reads only the
+  // indicator word; never performs a non-trivial step.
+  bool query() const noexcept {
+    return (i_.value.load(std::memory_order_acquire) & 1ULL) != 0;
+  }
+
+  // Test-only introspection.
+  std::uint32_t surplus() const noexcept {
+    return count_of(x_.value.load(std::memory_order_acquire));
+  }
+  std::uint32_t epoch() const noexcept {
+    return epoch_of(x_.value.load(std::memory_order_acquire));
+  }
+  std::uint32_t ops() const noexcept {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
+  // Non-concurrent reinitialization (object pooling).
+  void reset(std::uint32_t initial_surplus) noexcept {
+    x_.value.store(pack(initial_surplus, 1), std::memory_order_relaxed);
+    i_.value.store(pack_i(initial_surplus > 0, 1), std::memory_order_relaxed);
+    ops_.store(0, std::memory_order_relaxed);
+  }
+
+  void set_stats(tree_stats* stats) noexcept { stats_ = stats; }
+
+ private:
+  // X: count in bits [0,32), epoch in bits [32,64).
+  static constexpr std::uint64_t pack(std::uint32_t count, std::uint32_t epoch) noexcept {
+    return static_cast<std::uint64_t>(count) |
+           (static_cast<std::uint64_t>(epoch) << 32);
+  }
+  static constexpr std::uint32_t count_of(std::uint64_t x) noexcept {
+    return static_cast<std::uint32_t>(x);
+  }
+  static constexpr std::uint32_t epoch_of(std::uint64_t x) noexcept {
+    return static_cast<std::uint32_t>(x >> 32);
+  }
+
+  // I: flag in bit 0, order key in bits [1,64). key = 2*epoch + (flag?0:1),
+  // so within an epoch "true" precedes "false" and keys are totally ordered.
+  static constexpr std::uint64_t pack_i(bool flag, std::uint32_t epoch) noexcept {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(epoch) << 1) | (flag ? 0ULL : 1ULL);
+    return (key << 1) | (flag ? 1ULL : 0ULL);
+  }
+  static constexpr std::uint64_t key_of_i(std::uint64_t i) noexcept { return i >> 1; }
+
+  void publish(bool flag, std::uint32_t epoch) noexcept;
+
+  void visit() noexcept {
+    if (stats_ != nullptr) ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  cache_aligned<std::atomic<std::uint64_t>> x_;
+  cache_aligned<std::atomic<std::uint64_t>> i_;
+  std::atomic<std::uint32_t> ops_{0};
+  tree_stats* stats_;
+};
+
+}  // namespace spdag::snzi

@@ -1,0 +1,49 @@
+#pragma once
+// Optional instrumentation for SNZI trees.
+//
+// The paper's analysis (section 4) proves amortized O(1) shared-memory steps
+// and O(1) contention per in-counter operation. These counters let the test
+// suite and the ablation benches check the proved bounds on real executions:
+//   * arrives / increments        <= 3      (Corollary 4.7, p = 1)
+//   * max ops touching one node   <= 6      (proof of Theorem 4.9, p = 1)
+// All counters are relaxed atomics; instrumentation is off (null pointer) in
+// measurement runs so it cannot perturb the contention being measured.
+
+#include <atomic>
+#include <cstdint>
+
+namespace spdag::snzi {
+
+struct tree_stats {
+  std::atomic<std::uint64_t> arrives{0};          // node-level arrive calls (incl. climbs)
+  std::atomic<std::uint64_t> departs{0};          // node-level depart calls (incl. climbs)
+  std::atomic<std::uint64_t> root_arrives{0};
+  std::atomic<std::uint64_t> root_departs{0};
+  std::atomic<std::uint64_t> cas_failures{0};     // failed CAS attempts anywhere
+  std::atomic<std::uint64_t> undo_departs{0};     // helper arrivals undone (orig. SNZI)
+  std::atomic<std::uint64_t> grow_calls{0};
+  std::atomic<std::uint64_t> grow_allocs{0};      // fresh child pairs from the arena
+  std::atomic<std::uint64_t> grow_reuses{0};      // child pairs recycled from the pool
+  std::atomic<std::uint64_t> grow_lost_races{0};  // allocated a pair but lost the CAS
+  std::atomic<std::uint64_t> grow_childless{0};   // grow() returned (a, a)
+  std::atomic<std::uint64_t> retires{0};          // nodes whose surplus returned to 0
+  std::atomic<std::uint64_t> pair_recycles{0};    // child pairs returned to the pool
+  std::atomic<std::uint64_t> indicator_writes{0};
+
+  void reset() noexcept {
+    for (auto* p : {&arrives, &departs, &root_arrives, &root_departs,
+                    &cas_failures, &undo_departs, &grow_calls, &grow_allocs,
+                    &grow_reuses, &grow_lost_races, &grow_childless, &retires,
+                    &pair_recycles, &indicator_writes}) {
+      p->store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+// Relaxed add on an optional stats block.
+inline void stat_add(tree_stats* s, std::atomic<std::uint64_t> tree_stats::*m,
+                     std::uint64_t n = 1) noexcept {
+  if (s != nullptr) (s->*m).fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace spdag::snzi

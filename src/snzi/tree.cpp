@@ -1,0 +1,47 @@
+#include "snzi/tree.hpp"
+
+#include <algorithm>
+
+namespace spdag::snzi {
+
+snzi_tree::snzi_tree(std::uint64_t initial_surplus, tree_config cfg)
+    : arena_(cfg.arena_chunk_bytes), root_(0, cfg.stats) {
+  ctx_.root = &root_;
+  ctx_.arena = &arena_;
+  ctx_.stats = cfg.stats;
+  ctx_.grow_threshold = cfg.grow_threshold;
+  ctx_.reclaim = cfg.reclaim && cfg.grow_threshold == 1;
+  base_.init(nullptr, nullptr, &ctx_);
+  for (std::uint64_t i = 0; i < initial_surplus; ++i) base_.arrive();
+}
+
+void snzi_tree::reset(std::uint64_t initial_surplus) {
+  // Forget every node: the recycling pool holds pointers into the arena, so
+  // it must be cleared before the arena is rewound.
+  while (free_pair_pop(ctx_) != nullptr) {
+  }
+  arena_.reset_nonconcurrent();
+  root_.reset(0);
+  base_.init(nullptr, nullptr, &ctx_);
+  for (std::uint64_t i = 0; i < initial_surplus; ++i) base_.arrive();
+}
+
+std::size_t snzi_tree::node_count() const {
+  std::size_t n = 0;
+  for_each_node([&](const node&, std::size_t) { ++n; });
+  return n;
+}
+
+std::size_t snzi_tree::max_depth() const {
+  std::size_t d = 0;
+  for_each_node([&](const node&, std::size_t depth) { d = std::max(d, depth); });
+  return d;
+}
+
+std::uint32_t snzi_tree::max_node_ops() const {
+  std::uint32_t m = 0;
+  for_each_node([&](const node& n, std::size_t) { m = std::max(m, n.ops()); });
+  return m;
+}
+
+}  // namespace spdag::snzi

@@ -1,0 +1,9 @@
+#include "util/arena.hpp"
+
+// block_arena is fully defined in the header; this TU anchors the library.
+namespace spdag {
+namespace {
+// Sanity: a chunk header plus one cache line must fit in the minimum arena.
+static_assert(sizeof(block_arena) <= 2 * cache_line_size);
+}  // namespace
+}  // namespace spdag

@@ -1,0 +1,140 @@
+#pragma once
+// Lock-free block arena.
+//
+// Every in-counter (one per sp-dag finish vertex) owns an arena from which
+// its SNZI nodes are carved. Rationale:
+//   * grow() allocates on the increment critical path; malloc contention
+//     there would pollute the very contention measurements the paper makes
+//     (the authors linked tcmalloc for the same reason);
+//   * SNZI nodes never need individual frees during the structure's life
+//     (appendix B retirement recycles, destruction frees in bulk), so a bump
+//     allocator is exactly the right shape.
+//
+// Allocation: atomic bump inside the current chunk; when a chunk fills, one
+// winner CAS-installs a fresh chunk. Chunks are chained and released by the
+// destructor. All operations are lock-free.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "util/cache_aligned.hpp"
+
+namespace spdag {
+
+class block_arena {
+ public:
+  // chunk_bytes is the usable payload per chunk.
+  explicit block_arena(std::size_t chunk_bytes = 1 << 14) noexcept
+      : chunk_bytes_(round_up(chunk_bytes, cache_line_size)) {}
+
+  block_arena(const block_arena&) = delete;
+  block_arena& operator=(const block_arena&) = delete;
+
+  ~block_arena() { release_all(); }
+
+  // Allocates `bytes` (<= chunk payload) aligned to `align`.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    bytes = round_up(bytes, align);
+    for (;;) {
+      chunk* c = head_.load(std::memory_order_acquire);
+      if (c != nullptr) {
+        std::size_t off = c->used.load(std::memory_order_relaxed);
+        for (;;) {
+          std::size_t aligned = round_up(off, align);
+          if (aligned + bytes > chunk_bytes_) break;  // chunk full
+          if (c->used.compare_exchange_weak(off, aligned + bytes,
+                                            std::memory_order_relaxed)) {
+            return c->payload() + aligned;
+          }
+          // off was reloaded by the failed CAS; retry within this chunk.
+        }
+      }
+      grow_chunk(c);
+    }
+  }
+
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  // Rewinds the arena for reuse without returning memory to the OS: keeps
+  // the most recently allocated chunk (zeroing its bump offset) and frees
+  // the rest. Caller must guarantee no allocation is concurrent and nothing
+  // references previously allocated objects.
+  void reset_nonconcurrent() noexcept {
+    chunk* c = head_.load(std::memory_order_acquire);
+    if (c == nullptr) return;
+    c->used.store(0, std::memory_order_relaxed);
+    chunk* rest = c->next;
+    c->next = nullptr;
+    while (rest != nullptr) {
+      chunk* next = rest->next;
+      rest->~chunk();
+      std::free(rest);
+      rest = next;
+    }
+  }
+
+  // Number of chunks currently chained (observability for tests).
+  std::size_t chunk_count() const noexcept {
+    std::size_t n = 0;
+    for (chunk* c = head_.load(std::memory_order_acquire); c != nullptr; c = c->next)
+      ++n;
+    return n;
+  }
+
+  // Total payload bytes handed out (approximate across chunks).
+  std::size_t bytes_allocated() const noexcept {
+    std::size_t n = 0;
+    for (chunk* c = head_.load(std::memory_order_acquire); c != nullptr; c = c->next)
+      n += c->used.load(std::memory_order_relaxed);
+    return n;
+  }
+
+ private:
+  struct chunk {
+    chunk* next = nullptr;
+    std::atomic<std::size_t> used{0};
+    char* payload() noexcept {
+      return reinterpret_cast<char*>(this) + round_up(sizeof(chunk), cache_line_size);
+    }
+  };
+
+  static constexpr std::size_t round_up(std::size_t v, std::size_t a) noexcept {
+    return (v + a - 1) / a * a;
+  }
+
+  void grow_chunk(chunk* expected_head) {
+    const std::size_t total = round_up(sizeof(chunk), cache_line_size) + chunk_bytes_;
+    void* raw = std::aligned_alloc(cache_line_size, round_up(total, cache_line_size));
+    if (raw == nullptr) throw std::bad_alloc{};
+    chunk* fresh = ::new (raw) chunk{};
+    fresh->next = expected_head;
+    if (!head_.compare_exchange_strong(expected_head, fresh,
+                                       std::memory_order_acq_rel)) {
+      // Another thread installed a chunk first; ours is unneeded.
+      fresh->~chunk();
+      std::free(raw);
+    }
+  }
+
+  void release_all() noexcept {
+    chunk* c = head_.exchange(nullptr, std::memory_order_acquire);
+    while (c != nullptr) {
+      chunk* next = c->next;
+      c->~chunk();
+      std::free(c);
+      c = next;
+    }
+  }
+
+  std::size_t chunk_bytes_;
+  std::atomic<chunk*> head_{nullptr};
+};
+
+}  // namespace spdag

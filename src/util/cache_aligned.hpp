@@ -1,0 +1,47 @@
+#pragma once
+// Cache-line alignment utilities.
+//
+// Contended atomics placed on shared cache lines suffer false sharing; every
+// concurrently-touched word in this library lives on its own line.
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace spdag {
+
+// Size of the destructive-interference unit. We hardcode 64 rather than use
+// std::hardware_destructive_interference_size because GCC makes the latter an
+// ABI-unstable constant that warns when used in headers.
+inline constexpr std::size_t cache_line_size = 64;
+
+// A value of T alone on its own cache line(s).
+template <typename T>
+struct alignas(cache_line_size) cache_aligned {
+  T value;
+
+  cache_aligned() = default;
+  template <typename... Args>
+  explicit cache_aligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+// Pads T up to a full multiple of the cache line so arrays of padded<T>
+// never share lines between elements.
+template <typename T>
+struct padded {
+  alignas(cache_line_size) T value;
+  char pad[(sizeof(T) % cache_line_size) == 0
+               ? cache_line_size
+               : cache_line_size - (sizeof(T) % cache_line_size)];
+
+  padded() : value() {}
+  template <typename... Args>
+  explicit padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+};
+
+}  // namespace spdag

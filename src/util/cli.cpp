@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace spdag {
+
+namespace {
+
+std::string env_key_for(const std::string& key) {
+  std::string out = "SPDAG_";
+  for (char c : key) {
+    out += (c == '-') ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+void options::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() >= 2 && arg[0] == '-') {
+      std::string key = arg.substr(arg[1] == '-' ? 2 : 1);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";  // bare flag
+      }
+    }
+  }
+}
+
+std::optional<std::string> options::raw(const std::string& key) const {
+  if (auto it = values_.find(key); it != values_.end()) return it->second;
+  if (const char* env = std::getenv(env_key_for(key).c_str()); env != nullptr)
+    return std::string(env);
+  return std::nullopt;
+}
+
+bool options::has(const std::string& key) const { return raw(key).has_value(); }
+
+std::int64_t options::get_int(const std::string& key, std::int64_t fallback) const {
+  if (auto v = raw(key)) {
+    return std::strtoll(v->c_str(), nullptr, 10);
+  }
+  return fallback;
+}
+
+double options::get_double(const std::string& key, double fallback) const {
+  if (auto v = raw(key)) {
+    return std::strtod(v->c_str(), nullptr);
+  }
+  return fallback;
+}
+
+std::string options::get_string(const std::string& key, const std::string& fallback) const {
+  if (auto v = raw(key)) return *v;
+  return fallback;
+}
+
+bool options::get_bool(const std::string& key, bool fallback) const {
+  if (auto v = raw(key)) {
+    return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+  }
+  return fallback;
+}
+
+std::vector<std::string> options::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace spdag

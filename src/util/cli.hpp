@@ -1,0 +1,41 @@
+#pragma once
+// Minimal command-line / environment option parsing for benches & examples.
+//
+// Conventions follow the paper's artifact: options are `-key value` pairs
+// (e.g. `-n 8000000 -proc 40 -threshold 100`). Environment variables of the
+// form SPDAG_KEY override nothing but provide defaults, so the benchmark
+// suite can be scaled globally (SPDAG_N, SPDAG_PROC, ...).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spdag {
+
+class options {
+ public:
+  options() = default;
+  options(int argc, char** argv) { parse(argc, argv); }
+
+  // Parses `-key value` pairs; unknown keys are retained (callers decide).
+  void parse(int argc, char** argv);
+
+  // Lookup order: command line, then environment SPDAG_<KEY>, then fallback.
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  bool has(const std::string& key) const;
+
+  // Keys seen on the command line (for echoing configuration).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace spdag

@@ -1,0 +1,55 @@
+#include "util/dummy_work.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace spdag {
+
+namespace {
+
+std::atomic<std::uint64_t> g_sink{0};
+
+double measure_units_per_ns() {
+  using clock = std::chrono::steady_clock;
+  // Warm up, then time a block large enough to swamp clock granularity.
+  sink(spin_work(10'000));
+  constexpr std::uint64_t units = 2'000'000;
+  const auto t0 = clock::now();
+  sink(spin_work(units));
+  const auto t1 = clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  if (ns <= 0) return 1.0;
+  return static_cast<double>(units) / static_cast<double>(ns);
+}
+
+}  // namespace
+
+std::uint64_t spin_work(std::uint64_t units) noexcept {
+  // xorshift-style mixing: serial dependency chain, one multiply + shifts
+  // per unit, so the work scales linearly and cannot be vectorized away.
+  std::uint64_t x = units | 1;
+  for (std::uint64_t i = 0; i < units; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+void sink(std::uint64_t v) noexcept {
+  g_sink.store(v, std::memory_order_relaxed);
+}
+
+double spin_units_per_ns() noexcept {
+  static const double rate = measure_units_per_ns();
+  return rate;
+}
+
+void spin_ns(std::uint64_t ns) noexcept {
+  if (ns == 0) return;
+  const double rate = spin_units_per_ns();
+  sink(spin_work(static_cast<std::uint64_t>(rate * static_cast<double>(ns)) + 1));
+}
+
+}  // namespace spdag

@@ -1,0 +1,27 @@
+#pragma once
+// Calibrated dummy work for the granularity study (paper appendix C.3).
+//
+// The paper's granularity experiments attach "approximately one nanosecond
+// per unit" of busy work to each leaf task. We calibrate a spin kernel once
+// per process so `spin_ns(k)` burns roughly k nanoseconds, independent of
+// compiler optimization (the kernel's result is fed into a sink).
+
+#include <cstdint>
+
+namespace spdag {
+
+// Executes `units` iterations of the calibration kernel. Returns a value
+// that callers should feed to `sink` (or otherwise consume) so the loop
+// cannot be optimized away.
+std::uint64_t spin_work(std::uint64_t units) noexcept;
+
+// Burns approximately `ns` nanoseconds of CPU.
+void spin_ns(std::uint64_t ns) noexcept;
+
+// Units of spin_work per nanosecond, measured once on first use.
+double spin_units_per_ns() noexcept;
+
+// Consumes a value with a compiler barrier.
+void sink(std::uint64_t v) noexcept;
+
+}  // namespace spdag

@@ -1,0 +1,90 @@
+#pragma once
+// Lock-free log-scale latency histogram.
+//
+// 64 power-of-two nanosecond bins, bumped with relaxed atomics, so it can
+// sit on a measurement path shared by many workers without itself becoming
+// a contention source. Percentile queries are approximate (bin-granular),
+// which is exactly enough to see contention: contended CAS loops show up as
+// a fat tail several bins to the right of the uncontended mode.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace spdag {
+
+class latency_histogram {
+ public:
+  static constexpr int bin_count = 64;
+
+  void record(std::uint64_t ns) noexcept {
+    bins_[bin_for(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& b : bins_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  // Upper bound (in ns) of the bin containing the q-quantile, q in [0, 1].
+  std::uint64_t percentile_ns(double q) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0;
+    const double target = q * static_cast<double>(total);
+    double seen = 0;
+    for (int i = 0; i < bin_count; ++i) {
+      seen += static_cast<double>(bins_[i].load(std::memory_order_relaxed));
+      if (seen >= target) return bin_upper_ns(i);
+    }
+    return bin_upper_ns(bin_count - 1);
+  }
+
+  double mean_ns() const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0;
+    double acc = 0;
+    for (int i = 0; i < bin_count; ++i) {
+      // Midpoint of the bin as the representative value.
+      const double mid = i == 0 ? 0.5
+                                : 1.5 * static_cast<double>(1ULL << (i - 1));
+      acc += mid * static_cast<double>(bins_[i].load(std::memory_order_relaxed));
+    }
+    return acc / static_cast<double>(total);
+  }
+
+  void reset() noexcept {
+    for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+  }
+
+  // Merges another histogram into this one (quiescent use).
+  void merge(const latency_histogram& other) noexcept {
+    for (int i = 0; i < bin_count; ++i) {
+      bins_[i].fetch_add(other.bins_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t bin(int i) const noexcept {
+    return bins_[i].load(std::memory_order_relaxed);
+  }
+
+  // "<=1ns", "<=2ns", ... label for a bin (reporting).
+  static std::string bin_label(int i) {
+    return "<=" + std::to_string(bin_upper_ns(i)) + "ns";
+  }
+
+ private:
+  static int bin_for(std::uint64_t ns) noexcept {
+    if (ns <= 1) return 0;
+    const int bit = 64 - __builtin_clzll(ns - 1);  // ceil(log2(ns))
+    return bit >= bin_count ? bin_count - 1 : bit;
+  }
+  static constexpr std::uint64_t bin_upper_ns(int i) noexcept {
+    return i >= 63 ? ~0ULL : (1ULL << i);
+  }
+
+  std::atomic<std::uint64_t> bins_[bin_count] = {};
+};
+
+}  // namespace spdag

@@ -1,0 +1,105 @@
+#pragma once
+// inline_function<Sig, N>: a move-only callable with inline storage.
+//
+// Sp-dag vertex bodies are tiny closures created and destroyed millions of
+// times per second; std::function's possible heap allocation would dominate
+// the cost of the counter operations we are trying to measure. This type
+// stores the closure inline (static_assert'ed to fit) and dispatches through
+// a single function pointer.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace spdag {
+
+template <typename Signature, std::size_t N = 56>
+class inline_function;
+
+template <typename R, typename... Args, std::size_t N>
+class inline_function<R(Args...), N> {
+ public:
+  inline_function() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, inline_function> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  inline_function(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    emplace(std::forward<F>(f));
+  }
+
+  inline_function(inline_function&& other) noexcept { move_from(other); }
+
+  inline_function& operator=(inline_function&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  inline_function(const inline_function&) = delete;
+  inline_function& operator=(const inline_function&) = delete;
+
+  ~inline_function() { reset(); }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= N, "closure too large for inline_function storage");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "closure over-aligned for inline_function storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "closure must be nothrow-movable");
+    reset();
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    vtable_ = &vtable_for<Fn>;
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct vtable {
+    R (*invoke)(void*, Args&&...);
+    void (*destroy)(void*) noexcept;
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy src
+  };
+
+  template <typename Fn>
+  static constexpr vtable vtable_for = {
+      [](void* s, Args&&... args) -> R {
+        return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+      },
+      [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+  };
+
+  void move_from(inline_function& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[N];
+  const vtable* vtable_ = nullptr;
+};
+
+}  // namespace spdag

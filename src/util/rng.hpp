@@ -1,0 +1,80 @@
+#pragma once
+// Small fast PRNGs for the library and the benchmark harness.
+//
+// The dynamic-SNZI grow operation needs a cheap thread-local biased coin
+// (paper section 2: "flip a p-biased coin"); std::mt19937 is far too heavy to
+// sit on the critical path of a counter increment.
+
+#include <cstdint>
+
+namespace spdag {
+
+// SplitMix64: used to seed the main generator and as a standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless mix of a 64-bit value (useful for hashing vertex ids onto
+// fixed-depth SNZI leaves, mirroring the paper's hash placement).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+// xoshiro256** by Blackman & Vigna: 4x64-bit state, excellent quality,
+// a handful of cycles per draw.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform draw in [0, bound). Bound must be > 0. Uses the fixed-point
+  // multiply trick (Lemire); bias is negligible for our bounds.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  // True with probability num/den (a p-biased coin).
+  constexpr bool flip(std::uint64_t num, std::uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+// Per-thread generator, seeded from the thread identity so workers draw
+// independent streams without synchronization.
+inline xoshiro256& thread_rng() noexcept {
+  thread_local xoshiro256 rng{
+      mix64(reinterpret_cast<std::uintptr_t>(&rng) ^ 0x2545f4914f6cdd1dULL)};
+  return rng;
+}
+
+}  // namespace spdag

@@ -1,0 +1,39 @@
+#pragma once
+// Sense-reversing spin barrier.
+//
+// Benchmark workers must start a measured region together; a spin barrier
+// avoids the scheduler-latency skew a condvar barrier would add.
+
+#include <atomic>
+#include <cstddef>
+
+#include "util/backoff.hpp"
+#include "util/cache_aligned.hpp"
+
+namespace spdag {
+
+class spin_barrier {
+ public:
+  explicit spin_barrier(std::size_t parties) noexcept : parties_(parties) {}
+
+  spin_barrier(const spin_barrier&) = delete;
+  spin_barrier& operator=(const spin_barrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.value.load(std::memory_order_relaxed);
+    if (count_.value.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.value.store(0, std::memory_order_relaxed);
+      sense_.value.store(my_sense, std::memory_order_release);
+    } else {
+      backoff b;
+      while (sense_.value.load(std::memory_order_acquire) != my_sense) b.pause();
+    }
+  }
+
+ private:
+  std::size_t parties_;
+  cache_aligned<std::atomic<std::size_t>> count_{0};
+  cache_aligned<std::atomic<bool>> sense_{false};
+};
+
+}  // namespace spdag

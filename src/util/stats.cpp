@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spdag {
+
+void run_stats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double run_stats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double run_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double run_stats::rsd() const noexcept {
+  return mean() == 0.0 ? 0.0 : stddev() / mean();
+}
+
+result_table::result_table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void result_table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("result_table row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string result_table::num(double v, int precision) {
+  std::ostringstream os;
+  if (std::abs(v) >= 1e6) {
+    os << std::scientific << std::setprecision(precision) << v;
+  } else {
+    os << std::fixed << std::setprecision(precision) << v;
+  }
+  return os.str();
+}
+
+void result_table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  line(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    rule += std::string(width[c], '-') + "  ";
+  os << rule << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+void result_table::print_csv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  line(columns_);
+  for (const auto& row : rows_) line(row);
+}
+
+}  // namespace spdag

@@ -1,0 +1,58 @@
+#pragma once
+// Run statistics and paper-style result tables.
+//
+// The paper reports every data point as the average of repeated runs; the
+// accumulator here tracks mean/min/max/stddev, and `result_table` prints the
+// rows in both a human-readable grid and CSV (the reproducible artifact).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spdag {
+
+// Streaming accumulator (Welford) for repeated benchmark runs.
+class run_stats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  // Relative standard deviation, as a fraction of the mean.
+  double rsd() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// A column-oriented results table: one row per measurement configuration.
+class result_table {
+ public:
+  explicit result_table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  // Pretty grid for the console.
+  void print(std::ostream& os) const;
+  // CSV for downstream plotting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spdag

@@ -1,0 +1,29 @@
+#pragma once
+// Wall-clock timing helpers for the harness and examples.
+
+#include <chrono>
+#include <cstdint>
+
+namespace spdag {
+
+class wall_timer {
+ public:
+  wall_timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace spdag

@@ -1,0 +1,68 @@
+#pragma once
+// Intrusive lock-free Treiber stack with a tagged head to defeat ABA.
+//
+// Used for object pools (recycled vertices, dec-pairs, counters). T must
+// expose `std::atomic<T*> pool_next`.
+
+#include <atomic>
+#include <cstdint>
+
+namespace spdag {
+
+template <typename T>
+class treiber_stack {
+ public:
+  void push(T* item) noexcept {
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      item->pool_next.store(ptr_of(head), std::memory_order_relaxed);
+      const std::uint64_t fresh = pack(item, tag_of(head) + 1);
+      if (head_.compare_exchange_weak(head, fresh, std::memory_order_release,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  T* pop() noexcept {
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      T* top = ptr_of(head);
+      if (top == nullptr) return nullptr;
+      T* next = top->pool_next.load(std::memory_order_relaxed);
+      const std::uint64_t fresh = pack(next, tag_of(head) + 1);
+      if (head_.compare_exchange_weak(head, fresh, std::memory_order_acquire,
+                                      std::memory_order_acquire)) {
+        return top;
+      }
+    }
+  }
+
+  bool empty() const noexcept {
+    return ptr_of(head_.load(std::memory_order_acquire)) == nullptr;
+  }
+
+  std::size_t size_slow() const noexcept {
+    std::size_t n = 0;
+    for (T* p = ptr_of(head_.load(std::memory_order_acquire)); p != nullptr;
+         p = p->pool_next.load(std::memory_order_relaxed)) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  // 48-bit pointer + 16-bit monotone tag (canonical user-space addresses).
+  static constexpr std::uint64_t ptr_mask = (1ULL << 48) - 1;
+  static std::uint64_t pack(T* p, std::uint64_t tag) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(p) & ptr_mask) | (tag << 48);
+  }
+  static T* ptr_of(std::uint64_t v) noexcept {
+    return reinterpret_cast<T*>(v & ptr_mask);
+  }
+  static std::uint64_t tag_of(std::uint64_t v) noexcept { return v >> 48; }
+
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace spdag

@@ -1,0 +1,175 @@
+// Parameterized conformance suite: every dep_counter implementation must
+// satisfy the same observable contract, checked against the same script.
+// Instantiated over counter specs, including the mutex oracle.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "incounter/factory.hpp"
+
+namespace spdag {
+namespace {
+
+class CounterConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { factory_ = make_counter_factory(GetParam()); }
+  std::unique_ptr<counter_factory> factory_;
+};
+
+TEST_P(CounterConformance, FreshZeroCounterIsZero) {
+  dep_counter* c = factory_->acquire(0);
+  EXPECT_TRUE(c->is_zero());
+  factory_->release(c);
+}
+
+TEST_P(CounterConformance, InitialSurplusOneIsNonZero) {
+  dep_counter* c = factory_->acquire(1);
+  EXPECT_FALSE(c->is_zero());
+  EXPECT_TRUE(c->depart(c->root_token()));
+  EXPECT_TRUE(c->is_zero());
+  factory_->release(c);
+}
+
+TEST_P(CounterConformance, ArriveThenDepartRoundTrip) {
+  dep_counter* c = factory_->acquire(1);
+  const arrive_result r = c->arrive(c->root_token(), true);
+  EXPECT_FALSE(c->is_zero());
+  EXPECT_FALSE(c->depart(r.dec)) << "one obligation still outstanding";
+  EXPECT_TRUE(c->depart(c->root_token()));
+  factory_->release(c);
+}
+
+TEST_P(CounterConformance, DeepSpawnChain) {
+  dep_counter* c = factory_->acquire(1);
+  std::vector<token> decs{c->root_token()};
+  token inc = c->root_token();
+  for (int i = 0; i < 64; ++i) {
+    const arrive_result r = c->arrive(inc, (i & 1) == 0);
+    decs.push_back(r.dec);
+    inc = ((i & 1) == 0) ? r.inc_left : r.inc_right;
+  }
+  for (std::size_t i = decs.size(); i-- > 1;) {
+    EXPECT_FALSE(c->depart(decs[i])) << "premature zero at obligation " << i;
+  }
+  EXPECT_TRUE(c->depart(decs[0]));
+  EXPECT_TRUE(c->is_zero());
+  factory_->release(c);
+}
+
+TEST_P(CounterConformance, WideFanIn) {
+  dep_counter* c = factory_->acquire(1);
+  // Simulated fanin: spawn along the frontier like the dag does.
+  struct live { token inc; token dec; bool left; };
+  std::vector<live> frontier{{c->root_token(), c->root_token(), true}};
+  for (int gen = 0; gen < 7; ++gen) {
+    std::vector<live> next;
+    for (const live& v : frontier) {
+      const arrive_result r = c->arrive(v.inc, v.left);
+      next.push_back({r.inc_left, v.dec, true});
+      next.push_back({r.inc_right, r.dec, false});
+    }
+    frontier = std::move(next);
+  }
+  int zero_reports = 0;
+  for (const live& v : frontier) {
+    if (c->depart(v.dec)) ++zero_reports;
+  }
+  EXPECT_EQ(zero_reports, 1) << "exactly one depart must report zero";
+  EXPECT_TRUE(c->is_zero());
+  factory_->release(c);
+}
+
+TEST_P(CounterConformance, PoolRecyclingYieldsCleanCounters) {
+  dep_counter* a = factory_->acquire(1);
+  const arrive_result r = a->arrive(a->root_token(), true);
+  a->depart(r.dec);
+  a->depart(a->root_token());
+  factory_->release(a);
+  dep_counter* b = factory_->acquire(1);
+  EXPECT_FALSE(b->is_zero());
+  EXPECT_TRUE(b->depart(b->root_token()));
+  factory_->release(b);
+  EXPECT_LE(factory_->created(), 2u) << "release must actually pool";
+}
+
+TEST_P(CounterConformance, ConcurrentSpawnersAndSignalers) {
+  // Each thread builds its own spawn chain from a private handle, then
+  // resolves its obligations; the root obligation resolves last.
+  for (int round = 0; round < 20; ++round) {
+    dep_counter* c = factory_->acquire(1);
+    constexpr int kThreads = 4;
+    constexpr int kDepth = 64;
+    // Seed one obligation + handle per thread from the main thread.
+    std::vector<arrive_result> seeds;
+    token inc = c->root_token();
+    for (int t = 0; t < kThreads; ++t) {
+      const arrive_result r = c->arrive(inc, (t & 1) == 0);
+      seeds.push_back(r);
+      inc = r.inc_left;
+    }
+    std::vector<std::thread> threads;
+    std::atomic<int> zeros{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([c, &zeros, seed = seeds[static_cast<size_t>(t)]] {
+        std::vector<token> decs{seed.dec};
+        token my_inc = seed.inc_right;
+        for (int i = 0; i < kDepth; ++i) {
+          const arrive_result r = c->arrive(my_inc, (i & 1) == 0);
+          decs.push_back(r.dec);
+          my_inc = r.inc_right;
+        }
+        for (auto it = decs.rbegin(); it != decs.rend(); ++it) {
+          if (c->depart(*it)) zeros.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(zeros.load(), 0) << "root obligation still pending";
+    EXPECT_FALSE(c->is_zero());
+    EXPECT_TRUE(c->depart(c->root_token()));
+    EXPECT_TRUE(c->is_zero());
+    factory_->release(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCounters, CounterConformance,
+                         ::testing::Values("faa", "locked", "snzi:1", "snzi:2",
+                                           "snzi:4", "dyn:1", "dyn:4",
+                                           "dyn:100"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == ':') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CounterFactory, ParsesSpecs) {
+  EXPECT_EQ(make_counter_factory("faa")->name(), "faa");
+  EXPECT_EQ(make_counter_factory("snzi:3")->name(), "snzi:3");
+  EXPECT_EQ(make_counter_factory("dyn:77")->name(), "dyn:77");
+  EXPECT_EQ(make_counter_factory("locked")->name(), "locked");
+  EXPECT_THROW(make_counter_factory("bogus"), std::invalid_argument);
+}
+
+TEST(CounterFactory, DefaultDynThresholdFollowsPaperFormula) {
+  auto f = make_counter_factory("dyn");
+  auto* dyn = dynamic_cast<incounter_factory*>(f.get());
+  ASSERT_NE(dyn, nullptr);
+  EXPECT_EQ(dyn->config().grow_threshold % 25, 0u)
+      << "default threshold should be 25 * cores (paper section 5)";
+}
+
+TEST(CounterFactory, DisplayNamesMatchPaperLegend) {
+  EXPECT_EQ(make_counter_factory("faa")->display_name(), "Fetch & Add");
+  EXPECT_EQ(make_counter_factory("snzi:4")->display_name(), "SNZI depth=4");
+  EXPECT_EQ(make_counter_factory("dyn:1")->display_name(), "in-counter");
+}
+
+}  // namespace
+}  // namespace spdag

@@ -1,0 +1,200 @@
+// Tests for structured futures: completion/registration races, multiple
+// consumers, chaining, and interaction with the finish discipline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "dag/future.hpp"
+#include "sched/runtime.hpp"
+#include "util/dummy_work.hpp"
+
+namespace spdag {
+namespace {
+
+TEST(Future, DefaultConstructedIsInvalid) {
+  future<int> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_FALSE(f.ready());
+}
+
+TEST(Future, ProducerValueReachesConsumer) {
+  runtime rt(runtime_config{2, "dyn"});
+  std::atomic<int> got{0};
+  auto* g = &got;
+  rt.run([g] {
+    fork2_future<int>([] { return 41 + 1; },
+                      [g](future<int> f) {
+                        future_then(f, [g](int v) { g->store(v); });
+                      });
+  });
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(Future, SlowProducerStillDelivers) {
+  runtime rt(runtime_config{2, "dyn"});
+  std::atomic<int> got{0};
+  auto* g = &got;
+  rt.run([g] {
+    fork2_future<int>(
+        [] {
+          spin_ns(2'000'000);  // ~2ms: consumer registers first
+          return 7;
+        },
+        [g](future<int> f) {
+          future_then(f, [g](int v) { g->store(v); });
+        });
+  });
+  EXPECT_EQ(got.load(), 7);
+}
+
+TEST(Future, FastProducerAlreadyReadyAtRegistration) {
+  runtime rt(runtime_config{2, "dyn"});
+  std::atomic<int> got{0};
+  auto* g = &got;
+  rt.run([g] {
+    fork2_future<int>([] { return 9; },
+                      [g](future<int> f) {
+                        spin_ns(2'000'000);  // producer finishes first
+                        future_then(f, [g](int v) { g->store(v); });
+                      });
+  });
+  EXPECT_EQ(got.load(), 9);
+}
+
+TEST(Future, MultipleConsumersAllFire) {
+  runtime rt(runtime_config{3, "dyn"});
+  std::atomic<int> sum{0};
+  auto* s = &sum;
+  rt.run([s] {
+    fork2_future<int>(
+        [] { return 5; },
+        [s](future<int> f) {
+          fork2(
+              [s, f] { future_then(f, [s](int v) { s->fetch_add(v); }); },
+              [s, f] {
+                fork2([s, f] { future_then(f, [s](int v) { s->fetch_add(v); }); },
+                      [s, f] { future_then(f, [s](int v) { s->fetch_add(v); }); });
+              });
+        });
+  });
+  EXPECT_EQ(sum.load(), 15);
+}
+
+TEST(Future, ChainedFuturesPipeline) {
+  // a -> b -> c: each stage consumes the previous stage's value.
+  runtime rt(runtime_config{2, "dyn"});
+  std::atomic<int> final_value{0};
+  auto* out = &final_value;
+  rt.run([out] {
+    fork2_future<int>([] { return 1; },
+                      [out](future<int> a) {
+                        future_then(a, [out](int va) {
+                          fork2_future<int>([va] { return va * 10; },
+                                            [out](future<int> b) {
+                                              future_then(b, [out](int vb) {
+                                                out->store(vb + 3);
+                                              });
+                                            });
+                        });
+                      });
+  });
+  EXPECT_EQ(final_value.load(), 13);
+}
+
+TEST(Future, FinishWaitsForConsumers) {
+  // The enclosing run() must not return before every future consumer ran —
+  // that is what "structured" buys.
+  runtime rt(runtime_config{4, "dyn"});
+  std::atomic<int> stages{0};
+  auto* st = &stages;
+  rt.run([st] {
+    fork2_future<int>(
+        [st] {
+          spin_ns(1'000'000);
+          st->fetch_add(1);
+          return 1;
+        },
+        [st](future<int> f) {
+          future_then(f, [st](int) {
+            spin_ns(1'000'000);
+            st->fetch_add(1);
+          });
+        });
+  });
+  EXPECT_EQ(stages.load(), 2) << "run() returned before the consumer finished";
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+}
+
+TEST(Future, AbandonedFutureDoesNotLeakOrHang) {
+  runtime rt(runtime_config{2, "dyn"});
+  std::atomic<int> produced{0};
+  auto* p = &produced;
+  rt.run([p] {
+    fork2_future<int>([p] { p->fetch_add(1); return 4; },
+                      [](future<int>) { /* never consume */ });
+  });
+  EXPECT_EQ(produced.load(), 1);
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+}
+
+TEST(Future, NonTrivialValueType) {
+  runtime rt(runtime_config{2, "dyn"});
+  std::string got;
+  auto* g = &got;
+  rt.run([g] {
+    fork2_future<std::string>([] { return std::string("hello futures"); },
+                              [g](future<std::string> f) {
+                                future_then(f, [g](const std::string& s) {
+                                  *g = s;
+                                });
+                              });
+  });
+  EXPECT_EQ(got, "hello futures");
+}
+
+class FutureMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(FutureMatrix, StressManyFutures) {
+  runtime_config cfg{3, std::get<0>(GetParam())};
+  cfg.sched = std::get<1>(GetParam());
+  runtime rt(cfg);
+  std::atomic<std::uint64_t> sum{0};
+  auto* s = &sum;
+  rt.run([s] {
+    struct rec {
+      static void go(std::atomic<std::uint64_t>* s, int depth) {
+        if (depth == 0) return;
+        fork2_future<int>(
+            [depth] { return depth; },
+            [s, depth](future<int> f) {
+              fork2([s, depth] { go(s, depth - 1); },
+                    [s, f] {
+                      future_then(f, [s](int v) {
+                        s->fetch_add(static_cast<std::uint64_t>(v));
+                      });
+                    });
+            });
+      }
+    };
+    rec::go(s, 200);
+  });
+  EXPECT_EQ(sum.load(), 200u * 201u / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgosAndScheds, FutureMatrix,
+    ::testing::Combine(::testing::Values("faa", "dyn:1", "dyn"),
+                       ::testing::Values("ws", "private")),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>& info) {
+      std::string algo = std::get<0>(info.param);
+      for (char& ch : algo) {
+        if (ch == ':') ch = '_';
+      }
+      return algo + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace spdag

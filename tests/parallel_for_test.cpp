@@ -1,0 +1,118 @@
+// Tests for parallel_for: exactly-once semantics, grain handling, nesting,
+// and behaviour across counter implementations and worker counts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "dag/parallel_for.hpp"
+#include "sched/runtime.hpp"
+
+namespace spdag {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  runtime rt(runtime_config{3, "dyn"});
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  auto* v = visits.data();
+  rt.run([v] {
+    parallel_for(0, kN, 16, [v](std::size_t i) { v[i].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  runtime rt(runtime_config{2, "dyn"});
+  std::atomic<int> hits{0};
+  auto* h = &hits;
+  rt.run([h] {
+    parallel_for(5, 5, 8, [h](std::size_t) { h->fetch_add(1); });
+  });
+  rt.run([h] {
+    parallel_for(7, 3, 8, [h](std::size_t) { h->fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 0);
+}
+
+TEST(ParallelFor, ZeroGrainTreatedAsOne) {
+  runtime rt(runtime_config{2, "dyn"});
+  std::atomic<int> hits{0};
+  auto* h = &hits;
+  rt.run([h] {
+    parallel_for(0, 100, 0, [h](std::size_t) { h->fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsSerially) {
+  runtime rt(runtime_config{2, "dyn"});
+  std::vector<int> order;  // serial chunk => no data race on purpose
+  auto* o = &order;
+  rt.run([o] {
+    parallel_for(0, 10, 1000, [o](std::size_t i) { o->push_back(static_cast<int>(i)); });
+  });
+  std::vector<int> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect) << "a single chunk must run in index order";
+}
+
+TEST(ParallelFor, SubrangeBoundsRespected) {
+  runtime rt(runtime_config{2, "dyn"});
+  std::atomic<std::uint64_t> sum{0};
+  auto* s = &sum;
+  rt.run([s] {
+    parallel_for(100, 200, 7, [s](std::size_t i) { s->fetch_add(i); });
+  });
+  EXPECT_EQ(sum.load(), (100ull + 199ull) * 100ull / 2);
+}
+
+TEST(ParallelFor, NestedLoopsCompose) {
+  runtime rt(runtime_config{3, "dyn"});
+  constexpr std::size_t kOuter = 32;
+  constexpr std::size_t kInner = 64;
+  std::atomic<int> hits{0};
+  auto* h = &hits;
+  // Nested loops require outer grain 1: each outer iteration must be its
+  // own vertex so the inner loop's fork is the last action of that body.
+  rt.run([h] {
+    parallel_for(0, kOuter, 1, [h](std::size_t) {
+      parallel_for(0, kInner, 8, [h](std::size_t) { h->fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(hits.load(), static_cast<int>(kOuter * kInner));
+}
+
+class ParallelForMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(ParallelForMatrix, SumsCorrectly) {
+  runtime rt(runtime_config{std::get<1>(GetParam()), std::get<0>(GetParam())});
+  constexpr std::size_t kN = 4096;
+  std::atomic<std::uint64_t> sum{0};
+  auto* s = &sum;
+  rt.run([s] {
+    parallel_for(0, kN, 32, [s](std::size_t i) { s->fetch_add(i); });
+  });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgosAndWorkers, ParallelForMatrix,
+    ::testing::Combine(::testing::Values("faa", "snzi:3", "dyn:1", "dyn"),
+                       ::testing::Values(std::size_t{1}, std::size_t{4})),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::size_t>>& info) {
+      std::string algo = std::get<0>(info.param);
+      for (char& ch : algo) {
+        if (ch == ':') ch = '_';
+      }
+      return algo + "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace spdag

@@ -1,0 +1,117 @@
+// Tests for the private-deques scheduler (Acar-Charguéraud-Rainey,
+// PPoPP'13) and cross-scheduler equivalence checks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+
+#include "harness/workloads.hpp"
+#include "sched/runtime.hpp"
+
+namespace spdag {
+namespace {
+
+runtime_config pd(std::size_t workers, const std::string& counter = "dyn") {
+  runtime_config cfg{workers, counter};
+  cfg.sched = "private";
+  return cfg;
+}
+
+TEST(PrivateDeques, RunsTrivialDag) {
+  runtime rt(pd(2));
+  std::atomic<int> ran{0};
+  rt.run([&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(PrivateDeques, SingleWorkerNeverSteals) {
+  runtime rt(pd(1));
+  harness::fanin(rt, 1 << 10);
+  EXPECT_EQ(rt.sched().totals().steals, 0u);
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+}
+
+TEST(PrivateDeques, StealsMigrateWorkAcrossWorkers) {
+  runtime rt(pd(4));
+  rt.sched().reset_totals();
+  harness::fanin(rt, 1 << 14);
+  EXPECT_GT(rt.sched().totals().steals, 0u)
+      << "a wide fanin should trigger at least one successful steal request";
+}
+
+TEST(PrivateDeques, RepeatedRunsStaySound) {
+  runtime rt(pd(3));
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(harness::fib(rt, 14), 377u) << "run " << i;
+    EXPECT_EQ(rt.engine().live_vertices(), 0u);
+  }
+}
+
+class PrivateDequesMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(PrivateDequesMatrix, FibCorrect) {
+  runtime rt(pd(std::get<1>(GetParam()), std::get<0>(GetParam())));
+  EXPECT_EQ(harness::fib(rt, 18), 2584u);
+}
+
+TEST_P(PrivateDequesMatrix, FaninConserves) {
+  runtime rt(pd(std::get<1>(GetParam()), std::get<0>(GetParam())));
+  harness::fanin(rt, 1 << 11);
+  const auto& st = rt.engine().stats();
+  EXPECT_EQ(st.vertices_created.load(), st.vertices_recycled.load());
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+}
+
+TEST_P(PrivateDequesMatrix, Indegree2Conserves) {
+  runtime rt(pd(std::get<1>(GetParam()), std::get<0>(GetParam())));
+  harness::indegree2(rt, 1 << 11);
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgosAndWorkers, PrivateDequesMatrix,
+    ::testing::Combine(::testing::Values("faa", "snzi:2", "dyn:1", "dyn"),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{8})),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::size_t>>& info) {
+      std::string algo = std::get<0>(info.param);
+      for (char& ch : algo) {
+        if (ch == ':') ch = '_';
+      }
+      return algo + "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+// Both schedulers must produce identical program results and conservation
+// properties on the same workloads.
+class SchedulerEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedulerEquivalence, SameFibAcrossSchedulers) {
+  runtime_config cfg{3, "dyn"};
+  cfg.sched = GetParam();
+  runtime rt(cfg);
+  EXPECT_EQ(harness::fib(rt, 20), 6765u);
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+}
+
+TEST_P(SchedulerEquivalence, GranularityWorkload) {
+  runtime_config cfg{2, "dyn"};
+  cfg.sched = GetParam();
+  runtime rt(cfg);
+  harness::fanin(rt, 1 << 8, /*work_ns=*/200);
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, SchedulerEquivalence,
+                         ::testing::Values("ws", "private"));
+
+TEST(SchedulerSpec, UnknownSpecThrows) {
+  runtime_config cfg{1, "dyn"};
+  cfg.sched = "bogus";
+  EXPECT_THROW(runtime rt(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spdag

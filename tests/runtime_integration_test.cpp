@@ -1,0 +1,154 @@
+// End-to-end integration: the full stack (work-stealing scheduler + sp-dag +
+// pluggable counters) across algorithms and workloads, plus the appendix-B
+// space-bound property observed through instrumentation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+
+#include "harness/workloads.hpp"
+#include "sched/runtime.hpp"
+
+namespace spdag {
+namespace {
+
+using Param = std::tuple<std::string /*algo*/, std::size_t /*workers*/>;
+
+class RuntimeIntegration : public ::testing::TestWithParam<Param> {
+ protected:
+  runtime_config cfg() const {
+    auto [algo, workers] = GetParam();
+    return runtime_config{workers, algo};
+  }
+};
+
+TEST_P(RuntimeIntegration, FibMatchesReference) {
+  runtime rt(cfg());
+  EXPECT_EQ(harness::fib(rt, 18), 2584u);
+}
+
+TEST_P(RuntimeIntegration, FaninConservesEverything) {
+  runtime rt(cfg());
+  harness::fanin(rt, 1 << 11);
+  const auto& st = rt.engine().stats();
+  EXPECT_EQ(st.vertices_created.load(), st.vertices_recycled.load());
+  EXPECT_EQ(st.executions.load(), st.vertices_created.load());
+  if (rt.engine().uses_tokens()) {
+    EXPECT_EQ(st.pairs_created.load(), st.pairs_recycled.load());
+  }
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+}
+
+TEST_P(RuntimeIntegration, Indegree2Conserves) {
+  runtime rt(cfg());
+  harness::indegree2(rt, 1 << 11);
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+  EXPECT_EQ(rt.engine().stats().pairs_created.load(),
+            rt.engine().stats().pairs_recycled.load());
+}
+
+TEST_P(RuntimeIntegration, GranularityWorkloadCompletes) {
+  runtime rt(cfg());
+  harness::fanin(rt, 1 << 8, /*work_ns=*/100);
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+}
+
+TEST_P(RuntimeIntegration, BackToBackRunsAreIndependent) {
+  runtime rt(cfg());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(harness::fib(rt, 12), 144u) << "run " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgosAndWorkers, RuntimeIntegration,
+    ::testing::Combine(::testing::Values("faa", "snzi:2", "snzi:4", "dyn:1",
+                                         "dyn:128"),
+                       ::testing::Values(std::size_t{1}, std::size_t{3})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string algo = std::get<0>(info.param);
+      for (char& ch : algo) {
+        if (ch == ':') ch = '_';
+      }
+      return algo + "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- claim-order ablation still behaves correctly ---
+
+TEST(ClaimOrderAblation, RandomizedClaimIsStillCorrect) {
+  // Randomized claim order voids Lemma 4.6, so reclamation must be off.
+  runtime_config cfg{2, "dyn:1:noreclaim"};
+  cfg.engine_options.randomize_claim_order = true;
+  runtime rt(cfg);
+  EXPECT_EQ(harness::fib(rt, 16), 987u);
+  harness::fanin(rt, 1 << 10);
+  EXPECT_EQ(rt.engine().live_vertices(), 0u);
+}
+
+// --- space bounds (appendix B) ---
+
+TEST(SpaceBounds, ReclamationKeepsAllocationsFlat) {
+  // threshold 1 + reclamation: a fanin of 64k leaves must allocate far
+  // fewer SNZI pairs than it performs increments, because drained pairs are
+  // recycled through the pool.
+  snzi::tree_stats stats;
+  runtime rt(runtime_config{2, "dyn:1", false, &stats});
+  const std::uint64_t n = 1 << 16;
+  harness::fanin(rt, n);
+  const auto allocs = stats.grow_allocs.load();
+  const auto reuses = stats.grow_reuses.load();
+  EXPECT_GT(allocs + reuses, n / 2) << "growth should happen on most spawns";
+  EXPECT_LT(allocs, n / 8) << "reclamation failed to bound fresh allocations";
+  EXPECT_GT(reuses, 0u);
+}
+
+TEST(SpaceBounds, ProbabilisticGrowthAllocatesAboutNOverThreshold) {
+  snzi::tree_stats stats;
+  const std::uint64_t threshold = 256;
+  runtime rt(runtime_config{1, "dyn:" + std::to_string(threshold), false, &stats});
+  const std::uint64_t n = 1 << 16;
+  harness::fanin(rt, n);
+  const double expected = static_cast<double>(n) / static_cast<double>(threshold);
+  const auto allocs = static_cast<double>(stats.grow_allocs.load());
+  EXPECT_LT(allocs, 8 * expected) << "far more growth than p*increments";
+  EXPECT_GT(allocs, 0.0);
+}
+
+TEST(SpaceBounds, ThresholdZeroNeverAllocates) {
+  snzi::tree_stats stats;
+  runtime rt(runtime_config{1, "dyn:0", false, &stats});
+  harness::fanin(rt, 1 << 12);
+  EXPECT_EQ(stats.grow_allocs.load(), 0u);
+  EXPECT_EQ(stats.grow_reuses.load(), 0u);
+}
+
+// --- theory bounds hold through the full runtime (p = 1) ---
+
+TEST(TheoryBounds, AmortizedArrivesPerIncrementAtMostThree) {
+  snzi::tree_stats stats;
+  runtime rt(runtime_config{3, "dyn:1", false, &stats});
+  harness::fanin(rt, 1 << 14);
+  const double increments = static_cast<double>(rt.engine().stats().spawns.load());
+  const double arrives = static_cast<double>(stats.arrives.load()) +
+                         static_cast<double>(stats.root_arrives.load());
+  ASSERT_GT(increments, 0.0);
+  // Small slack: the per-run chain/final counters contribute a handful of
+  // non-increment arrives to the shared stats block.
+  EXPECT_LE(arrives / increments, 3.01)
+      << "Corollary 4.7 violated on a real execution";
+}
+
+TEST(TheoryBounds, DepartsMatchArrives) {
+  snzi::tree_stats stats;
+  runtime rt(runtime_config{2, "dyn:1", false, &stats});
+  harness::fanin(rt, 1 << 12);
+  // Undone helper arrivals are counted inside arrives/departs symmetrically,
+  // so totals must balance at quiescence.
+  EXPECT_EQ(stats.arrives.load() + stats.root_arrives.load(),
+            stats.departs.load() + stats.root_departs.load());
+}
+
+}  // namespace
+}  // namespace spdag

@@ -1,0 +1,222 @@
+// Unit tests for SNZI hierarchical nodes, dynamic grow, and the
+// phase-change propagation invariants from the original SNZI paper.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "snzi/tree.hpp"
+
+namespace spdag::snzi {
+namespace {
+
+TEST(SnziTree, FreshTreeIsZero) {
+  snzi_tree t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_FALSE(t.query());
+  EXPECT_EQ(t.node_count(), 1u);  // just the base
+}
+
+TEST(SnziTree, InitialSurplusPropagatesToRoot) {
+  snzi_tree t(2);
+  EXPECT_TRUE(t.query());
+  EXPECT_EQ(t.base()->surplus_half(), 4u);  // 2 surplus = 4 half units
+  EXPECT_EQ(t.root()->surplus(), 1u) << "only the 0->1 transition propagates";
+}
+
+TEST(SnziTree, ArriveDepartAtBase) {
+  snzi_tree t;
+  t.arrive();
+  EXPECT_TRUE(t.query());
+  EXPECT_TRUE(t.depart());
+  EXPECT_FALSE(t.query());
+}
+
+TEST(SnziTree, SurplusFiltersTowardRoot) {
+  snzi_tree t;
+  for (int i = 0; i < 100; ++i) t.arrive();
+  // 100 arrives at the base produce exactly one unit at the root.
+  EXPECT_EQ(t.root()->surplus(), 1u);
+  for (int i = 0; i < 99; ++i) EXPECT_FALSE(t.depart());
+  EXPECT_TRUE(t.query());
+  EXPECT_TRUE(t.depart());
+  EXPECT_FALSE(t.query());
+  EXPECT_EQ(t.root()->surplus(), 0u);
+}
+
+TEST(SnziGrow, ThresholdOneAlwaysGrows) {
+  snzi_tree t;
+  auto [a, b] = t.base()->grow(1);
+  EXPECT_NE(a, t.base());
+  EXPECT_NE(b, t.base());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a->parent(), t.base());
+  EXPECT_EQ(b->parent(), t.base());
+  EXPECT_EQ(t.node_count(), 3u);
+}
+
+TEST(SnziGrow, ThresholdZeroNeverGrows) {
+  snzi_tree t(0, tree_config{/*grow_threshold=*/0});
+  auto [a, b] = t.base()->grow(0);
+  EXPECT_EQ(a, t.base());
+  EXPECT_EQ(b, t.base());
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(SnziGrow, GrowIsIdempotent) {
+  snzi_tree t;
+  auto [a1, b1] = t.base()->grow(1);
+  auto [a2, b2] = t.base()->grow(1);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(t.node_count(), 3u);
+}
+
+TEST(SnziGrow, ChildrenStartWithZeroSurplus) {
+  snzi_tree t(1);
+  auto [a, b] = t.base()->grow(1);
+  EXPECT_EQ(a->surplus_half(), 0u);
+  EXPECT_EQ(b->surplus_half(), 0u);
+  EXPECT_TRUE(t.query()) << "growing must not disturb the indicator";
+}
+
+TEST(SnziGrow, ProbabilisticGrowthRateIsRoughlyOneOverThreshold) {
+  // With threshold T, out of N fresh nodes asked to grow once each, about
+  // N/T should grow. Use a generous tolerance: this is a sanity check on
+  // the coin, not a statistical test.
+  constexpr std::uint64_t kThreshold = 8;
+  constexpr int kNodes = 4000;
+  int grew = 0;
+  for (int i = 0; i < kNodes; ++i) {
+    snzi_tree t;
+    auto [a, b] = t.base()->grow(kThreshold);
+    if (a != t.base()) ++grew;
+    (void)b;
+  }
+  const double rate = static_cast<double>(grew) / kNodes;
+  EXPECT_GT(rate, 0.5 / kThreshold);
+  EXPECT_LT(rate, 2.0 / kThreshold);
+}
+
+TEST(SnziGrow, ConcurrentGrowInstallsExactlyOnePair) {
+  for (int round = 0; round < 100; ++round) {
+    snzi_tree t;
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    std::vector<std::pair<node*, node*>> results(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back(
+          [&t, &results, i] { results[static_cast<size_t>(i)] = t.base()->grow(1); });
+    }
+    for (auto& th : threads) th.join();
+    for (int i = 1; i < kThreads; ++i) {
+      EXPECT_EQ(results[static_cast<size_t>(i)], results[0])
+          << "all concurrent grows must observe the same winning pair";
+    }
+    EXPECT_EQ(t.node_count(), 3u);
+  }
+}
+
+TEST(SnziTree, ArriveAtDeepLeafPropagatesOncePerLevel) {
+  snzi_tree t;
+  node* n = t.base();
+  for (int d = 0; d < 10; ++d) {
+    auto [a, b] = n->grow(1);
+    (void)b;
+    n = a;
+  }
+  EXPECT_EQ(t.max_depth(), 10u);
+  n->arrive();
+  EXPECT_TRUE(t.query());
+  // Every ancestor on the path must now have surplus; siblings must not.
+  for (node* p = n; p != nullptr; p = p->parent()) {
+    EXPECT_GE(p->surplus_half(), 2u);
+  }
+  EXPECT_TRUE(n->depart());
+  EXPECT_FALSE(t.query());
+  t.for_each_node([](const node& m, std::size_t) {
+    EXPECT_EQ(m.surplus_half(), 0u);
+  });
+}
+
+TEST(SnziTree, DepartStopsAtFirstNodeWithRemainingSurplus) {
+  snzi_tree t;
+  auto [a, b] = t.base()->grow(1);
+  (void)b;
+  t.arrive();   // surplus at base
+  a->arrive();  // surplus at left child propagates to base (already >0: no climb)
+  EXPECT_EQ(t.base()->surplus_half(), 4u);
+  EXPECT_FALSE(a->depart()) << "base still has its own surplus";
+  EXPECT_TRUE(t.query());
+  EXPECT_TRUE(t.depart());
+  EXPECT_FALSE(t.query());
+}
+
+TEST(SnziTreeConcurrent, HammerLeavesBalanced) {
+  snzi_tree t;
+  auto [l, r] = t.base()->grow(1);
+  auto [ll, lr] = l->grow(1);
+  auto [rl, rr] = r->grow(1);
+  std::vector<node*> leaves{ll, lr, rl, rr};
+  constexpr int kPairs = 20000;
+  std::vector<std::thread> threads;
+  for (node* leaf : leaves) {
+    threads.emplace_back([leaf] {
+      for (int i = 0; i < kPairs; ++i) {
+        leaf->arrive();
+        leaf->depart();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(t.query());
+  t.for_each_node(
+      [](const node& n, std::size_t) { EXPECT_EQ(n.surplus_half(), 0u); });
+  EXPECT_EQ(t.root()->surplus(), 0u);
+}
+
+TEST(SnziTreeConcurrent, StandingSurplusShieldsRootFromChurn) {
+  tree_stats stats;
+  snzi_tree t(0, tree_config{1, false, &stats});
+  t.arrive();  // standing surplus at the base
+  stats.reset();
+  auto [a, b] = t.base()->grow(1);
+  constexpr int kPairs = 50000;
+  std::thread t1([&a = a] {
+    for (int i = 0; i < kPairs; ++i) {
+      a->arrive();
+      a->depart();
+    }
+  });
+  std::thread t2([&b = b] {
+    for (int i = 0; i < kPairs; ++i) {
+      b->arrive();
+      b->depart();
+    }
+  });
+  t1.join();
+  t2.join();
+  // Children churned through phase changes, but the base never lost its own
+  // surplus, so nothing reached the root.
+  EXPECT_EQ(stats.root_arrives.load(), 0u);
+  EXPECT_EQ(stats.root_departs.load(), 0u);
+  EXPECT_TRUE(t.depart());
+}
+
+TEST(SnziTree, ResetForgetsStructure) {
+  snzi_tree t;
+  auto [a, b] = t.base()->grow(1);
+  a->arrive();
+  b->arrive();
+  a->depart();
+  b->depart();
+  t.reset(1);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_TRUE(t.query());
+  EXPECT_TRUE(t.depart());
+}
+
+}  // namespace
+}  // namespace spdag::snzi

@@ -1,0 +1,173 @@
+// Unit tests for the SNZI root node: surplus arithmetic, indicator
+// publication ordering, and concurrent arrive/depart hammering.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "snzi/root.hpp"
+
+namespace spdag::snzi {
+namespace {
+
+TEST(SnziRoot, StartsAtZero) {
+  root_node r;
+  EXPECT_FALSE(r.query());
+  EXPECT_EQ(r.surplus(), 0u);
+}
+
+TEST(SnziRoot, InitialSurplusIsVisible) {
+  root_node r(3);
+  EXPECT_TRUE(r.query());
+  EXPECT_EQ(r.surplus(), 3u);
+}
+
+TEST(SnziRoot, ArriveSetsIndicator) {
+  root_node r;
+  r.arrive();
+  EXPECT_TRUE(r.query());
+  EXPECT_EQ(r.surplus(), 1u);
+}
+
+TEST(SnziRoot, DepartClearsIndicatorAtZero) {
+  root_node r;
+  r.arrive();
+  EXPECT_FALSE(r.depart() == false) << "the only depart must report zero";
+  EXPECT_FALSE(r.query());
+  EXPECT_EQ(r.surplus(), 0u);
+}
+
+TEST(SnziRoot, OnlyLastDepartReportsZero) {
+  root_node r;
+  r.arrive();
+  r.arrive();
+  r.arrive();
+  EXPECT_FALSE(r.depart());
+  EXPECT_FALSE(r.depart());
+  EXPECT_TRUE(r.query());
+  EXPECT_TRUE(r.depart());
+  EXPECT_FALSE(r.query());
+}
+
+TEST(SnziRoot, EpochAdvancesOnEachZeroToOneTransition) {
+  root_node r;
+  const std::uint32_t e0 = r.epoch();
+  r.arrive();
+  EXPECT_EQ(r.epoch(), e0 + 1);
+  r.arrive();
+  EXPECT_EQ(r.epoch(), e0 + 1) << "1 -> 2 must not advance the epoch";
+  r.depart();
+  r.depart();
+  r.arrive();
+  EXPECT_EQ(r.epoch(), e0 + 2);
+}
+
+TEST(SnziRoot, ManyPhaseChangesStayConsistent) {
+  root_node r;
+  for (int i = 0; i < 10000; ++i) {
+    r.arrive();
+    EXPECT_TRUE(r.query());
+    EXPECT_TRUE(r.depart());
+    EXPECT_FALSE(r.query());
+  }
+}
+
+TEST(SnziRoot, ResetRestoresInitialState) {
+  root_node r;
+  r.arrive();
+  r.arrive();
+  r.reset(0);
+  EXPECT_FALSE(r.query());
+  r.reset(5);
+  EXPECT_TRUE(r.query());
+  EXPECT_EQ(r.surplus(), 5u);
+}
+
+// Concurrent hammering: each thread performs balanced arrive/depart pairs.
+// At every quiescent point the indicator must agree with the known surplus.
+TEST(SnziRootConcurrent, BalancedPairsEndAtZero) {
+  root_node r;
+  constexpr int kThreads = 8;
+  constexpr int kPairsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r] {
+      for (int i = 0; i < kPairsPerThread; ++i) {
+        r.arrive();
+        r.depart();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(r.surplus(), 0u);
+  EXPECT_FALSE(r.query());
+}
+
+// Hold a standing surplus on the main thread while workers churn: the
+// indicator must read true at every instant.
+TEST(SnziRootConcurrent, IndicatorNeverFlickersUnderStandingSurplus) {
+  root_node r;
+  r.arrive();  // standing surplus owned by the main thread
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> false_reads{0};
+
+  std::vector<std::thread> churn;
+  for (int t = 0; t < 4; ++t) {
+    churn.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        r.arrive();
+        r.depart();
+      }
+    });
+  }
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!r.query()) false_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (auto& th : churn) th.join();
+  observer.join();
+
+  EXPECT_EQ(false_reads.load(), 0u)
+      << "query() returned false while a surplus was standing";
+  EXPECT_TRUE(r.depart());
+  EXPECT_FALSE(r.query());
+}
+
+// The depart that zeroes the counter is unique even under contention.
+TEST(SnziRootConcurrent, ExactlyOneZeroingDepart) {
+  for (int round = 0; round < 200; ++round) {
+    root_node r;
+    constexpr int kThreads = 4;
+    for (int i = 0; i < kThreads; ++i) r.arrive();
+    std::atomic<int> zero_reports{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        if (r.depart()) zero_reports.fetch_add(1);
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(zero_reports.load(), 1);
+    EXPECT_FALSE(r.query());
+  }
+}
+
+TEST(SnziRootStats, CountsOpsWhenInstrumented) {
+  tree_stats stats;
+  root_node r(0, &stats);
+  r.arrive();
+  r.depart();
+  EXPECT_EQ(stats.root_arrives.load(), 1u);
+  EXPECT_EQ(stats.root_departs.load(), 1u);
+  EXPECT_GE(stats.indicator_writes.load(), 2u);
+  EXPECT_EQ(r.ops(), 2u);
+}
+
+}  // namespace
+}  // namespace spdag::snzi
