@@ -1,0 +1,105 @@
+// Fan-out scalability: the mirror of fig08 (fanin) on the future side.
+//
+// Setup: one producer completes a single future while n consumers register
+// against it, varying processors and out-set algorithm ("simple" = the
+// single CAS-list head every registration fights over, "tree[:f]" = the
+// grow-on-contention out-set tree). Metric: out-set operations (one
+// registration + one delivery per consumer) per second per core, plus the
+// headline contention stat `retries/add` — failed head-CASes per successful
+// registration. Expected shape: the CAS list's retry rate grows with the
+// number of concurrent consumers while the tree's stays flat (its adds
+// separate onto disjoint cache lines after O(log c) collisions), the exact
+// fan-out analogue of Fetch & Add vs the in-counter in Figure 8.
+//
+// Scale knobs: -n / SPDAG_N (consumer count, default 1<<15), -proc /
+// SPDAG_PROC (max workers), -runs / SPDAG_RUNS, -prodns / SPDAG_PRODNS
+// (producer busy-work in ns; default scales with n so registrations pile up
+// against the still-pending future instead of taking the ready bypass).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+#include "harness/workloads.hpp"
+#include "sched/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+#include "util/topology.hpp"
+
+namespace {
+
+using namespace spdag;
+
+void register_config(const std::string& outset_spec, std::size_t workers,
+                     std::uint64_t n, std::uint64_t producer_ns, int runs) {
+  const std::string name =
+      "fanout/" + outset_spec + "/proc:" + std::to_string(workers);
+  benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+    runtime_config cfg{workers, "dyn"};
+    cfg.outset = outset_spec;
+    runtime rt(cfg);
+    harness::fanout(rt, n, 0, producer_ns);  // warm-up: pools, pages
+    const outset_totals before = rt.outsets().totals();
+    std::uint64_t delivered_sum = 0;
+    for (auto _ : st) {
+      wall_timer t;
+      delivered_sum += harness::fanout(rt, n, 0, producer_ns);
+      st.SetIterationTime(t.elapsed_s());
+    }
+    const outset_totals after = rt.outsets().totals();
+    const double adds = static_cast<double>(after.adds - before.adds);
+    const double retries =
+        static_cast<double>(after.add_cas_retries - before.add_cas_retries);
+    const double rejected =
+        static_cast<double>(after.rejected_adds - before.rejected_adds);
+    const double ops = static_cast<double>(harness::outset_ops(n));
+    st.counters["ops/s"] = benchmark::Counter(
+        ops, benchmark::Counter::kIsIterationInvariantRate);
+    st.counters["ops/s/core"] = benchmark::Counter(
+        ops / static_cast<double>(workers),
+        benchmark::Counter::kIsIterationInvariantRate);
+    // The contention acceptance stat: failed head-CASes per captured add.
+    st.counters["retries/add"] = adds > 0 ? retries / adds : 0.0;
+    // Share of registration attempts that lost the race to finalize and
+    // self-delivered (grows when the producer finishes early). Numerator and
+    // denominator both accumulate over the same iterations.
+    const double attempts = adds + rejected;
+    st.counters["rejected/add"] = attempts > 0 ? rejected / attempts : 0.0;
+    if (delivered_sum != st.iterations() * n) {
+      st.SkipWithError("exactly-once delivery violated");
+    }
+  })
+      ->UseManualTime()
+      ->Iterations(runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts(argc, argv);
+  const auto common = harness::read_common(opts, /*default_n=*/1 << 15);
+  // Give the producer roughly the time the registration wave needs, so adds
+  // contend with each other rather than racing a long-completed future.
+  const std::uint64_t producer_ns = static_cast<std::uint64_t>(
+      opts.get_int("prodns", static_cast<std::int64_t>(common.n * 25)));
+
+  const std::vector<std::string> algos{"simple", "tree", "tree:4"};
+  for (const auto& algo : algos) {
+    for (std::size_t p : harness::worker_sweep(common.max_proc)) {
+      register_config(algo, p, common.n, producer_ns, common.runs);
+    }
+  }
+
+  std::printf(
+      "# fanout: 1 producer -> n consumers, n=%llu, max_proc=%zu, runs=%d, "
+      "producer_ns=%llu (dual of fig08)\n",
+      static_cast<unsigned long long>(common.n), common.max_proc, common.runs,
+      static_cast<unsigned long long>(producer_ns));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

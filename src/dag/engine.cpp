@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "outset/factory.hpp"
 #include "util/rng.hpp"
 
 namespace spdag {
@@ -16,7 +17,11 @@ dag_engine* dag_engine::current_engine() noexcept { return tls_current_engine; }
 
 dag_engine::dag_engine(counter_factory& factory, executor& exec,
                        dag_engine_options options)
-    : factory_(factory), exec_(exec), options_(options) {
+    : factory_(factory),
+      outsets_(options.outsets != nullptr ? options.outsets
+                                          : &default_outset_factory()),
+      exec_(exec),
+      options_(options) {
   // Counters from one factory are homogeneous; probe once.
   dep_counter* probe = factory_.acquire(0);
   uses_tokens_ = probe->uses_tokens();

@@ -49,6 +49,8 @@ struct engine_stats {
   }
 };
 
+class outset_factory;  // src/outset/factory.hpp
+
 struct dag_engine_options {
   // Ablation A2: when true, the first sibling to claim a decrement handle
   // picks a random slot instead of the higher-in-the-tree one, voiding the
@@ -57,6 +59,11 @@ struct dag_engine_options {
   // subtree — so this option MUST be combined with a non-reclaiming counter
   // ("dyn:<t>:noreclaim"); with reclamation it is a use-after-recycle.
   bool randomize_claim_order = false;
+
+  // Factory futures created under this engine draw their out-sets (waiter
+  // broadcast structures) from; borrowed, must outlive the engine. Null
+  // means the process-wide default simple-out-set factory.
+  outset_factory* outsets = nullptr;
 };
 
 class dag_engine {
@@ -106,6 +113,7 @@ class dag_engine {
 
   // --- plumbing ---
   counter_factory& factory() noexcept { return factory_; }
+  outset_factory& outsets() noexcept { return *outsets_; }
   executor& exec() noexcept { return exec_; }
   engine_stats& stats() noexcept { return stats_; }
   bool uses_tokens() const noexcept { return uses_tokens_; }
@@ -130,6 +138,7 @@ class dag_engine {
   token claim_dec(vertex* u);
 
   counter_factory& factory_;
+  outset_factory* outsets_;
   executor& exec_;
   dag_engine_options options_;
   bool uses_tokens_;

@@ -18,9 +18,13 @@
 //   * future<T>::ready()/get() — non-blocking inspection; get() requires
 //     ready() (a consumer scheduled via future_then always sees it ready).
 //
-// The completion/registration race is resolved with a claim flag per
-// waiter: the registrant re-checks readiness after pushing, and whichever
-// side wins the exchange schedules the waiter exactly once.
+// Waiter management is delegated to a pluggable out-set (src/outset/) — the
+// fan-out dual of the in-counter. The completion/registration race is
+// resolved inside the out-set with per-node terminated sentinels: add()
+// returns false exactly when finalize already ran, in which case the
+// registrant schedules its own consumer. Which implementation a future uses
+// comes from its engine's outset factory (runtime_config::outset, specs
+// "outset:simple" | "outset:tree[:fanout]").
 
 #include <atomic>
 #include <cassert>
@@ -28,27 +32,24 @@
 #include <utility>
 
 #include "dag/engine.hpp"
-#include "util/treiber_stack.hpp"
+#include "outset/factory.hpp"
 
 namespace spdag {
 
 namespace detail {
 
-struct future_waiter {
-  vertex* consumer = nullptr;
-  dag_engine* engine = nullptr;
-  std::atomic<bool> claimed{false};
-  std::atomic<future_waiter*> pool_next{nullptr};
-};
-
 template <typename T>
 class future_state {
  public:
+  explicit future_state(outset_factory& outsets)
+      : outsets_(&outsets), waiters_(outsets.acquire()) {}
+
   ~future_state() {
-    // Normally drained at completion; clean up registrations left behind by
-    // programs that abandoned the future (its producer must still have run,
-    // or the enclosing finish could never have fired).
-    while (future_waiter* w = waiters_.pop()) delete w;
+    // release() scrubs registrations left behind by programs that abandoned
+    // the future (its producer must still have run, or the enclosing finish
+    // could never have fired) and re-pools the out-set.
+    outsets_->release(waiters_);
+    if (ready()) reinterpret_cast<T*>(&storage_)->~T();
   }
 
   bool ready() const noexcept {
@@ -63,47 +64,58 @@ class future_state {
   void complete(T v, dag_engine* engine) {
     assert(!ready() && "future completed twice");
     ::new (&storage_) T(std::move(v));
+    completion_engine_ = engine;  // fallback for engine-less registrations
+    // Publish the value BEFORE finalizing: every delivery path (the sink
+    // below, or a registrant whose add lost to the finalize) synchronizes
+    // with this store through the out-set's sentinel or the executor queue.
     ready_.store(true, std::memory_order_release);
-    drain(engine);
+    waiters_->finalize(&deliver, this);
   }
 
   // Registers `consumer` to be enqueued on completion. If the future
   // completed concurrently (or earlier), schedules it here instead.
+  // `engine` must be non-null: the bypass and lost-race paths below schedule
+  // on it directly (the completion-engine fallback in deliver() only covers
+  // waiters that reached the out-set some other way).
   void register_waiter(vertex* consumer, dag_engine* engine) {
+    assert(engine != nullptr && "registration requires an engine");
     if (ready()) {
       engine->add(consumer);
       return;
     }
-    auto* w = new future_waiter{};
-    w->consumer = consumer;
-    w->engine = engine;
-    waiters_.push(w);
-    // Re-check: the producer may have drained between our check and push.
-    if (ready() && !w->claimed.exchange(true, std::memory_order_acq_rel)) {
+    outset_waiter* w = outsets_->acquire_waiter(consumer, engine);
+    if (!waiters_->add(w)) {
+      // The producer finalized between our check and the add; the value is
+      // published, so schedule the consumer from here — exactly once.
+      outsets_->release_waiter(w);
       engine->add(consumer);
-      // The node stays on the stack; the producer's drain (or the
-      // destructor) frees it after losing the claim.
     }
   }
 
  private:
-  void drain(dag_engine* completion_engine) {
-    while (future_waiter* w = waiters_.pop()) {
-      if (!w->claimed.exchange(true, std::memory_order_acq_rel)) {
-        dag_engine* eng = w->engine != nullptr ? w->engine : completion_engine;
-        eng->add(w->consumer);
-      }
-      delete w;
-    }
+  static void deliver(void* ctx, outset_waiter* w) {
+    auto* self = static_cast<future_state*>(ctx);
+    vertex* consumer = w->consumer;
+    dag_engine* engine =
+        w->engine != nullptr ? w->engine : self->completion_engine_;
+    self->outsets_->release_waiter(w);
+    engine->add(consumer);
   }
 
+  outset_factory* outsets_;
+  outset* waiters_;
+  dag_engine* completion_engine_ = nullptr;
   std::atomic<bool> ready_{false};
   alignas(T) unsigned char storage_[sizeof(T)];
-  treiber_stack<future_waiter> waiters_;
 };
 
 }  // namespace detail
 
+// Lifetime: a future's state borrows its out-set (and the factory that
+// pools it) from the engine it was made under, so every copy of a future
+// must be dropped before its runtime is destroyed — which structured usage
+// guarantees, since consumers are gated under the enclosing finish. Only
+// futures made outside any engine (default factory) may outlive runtimes.
 template <typename T>
 class future {
  public:
@@ -118,9 +130,16 @@ class future {
     return state_->value();
   }
 
+  // A fresh future backed by the current engine's out-set factory, or by the
+  // process-wide default (a simple out-set) outside of any engine.
   static future make() {
+    dag_engine* eng = dag_engine::current_engine();
+    return make(eng != nullptr ? eng->outsets() : default_outset_factory());
+  }
+
+  static future make(outset_factory& outsets) {
     future f;
-    f.state_ = std::make_shared<detail::future_state<T>>();
+    f.state_ = std::make_shared<detail::future_state<T>>(outsets);
     return f;
   }
 

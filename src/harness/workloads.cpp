@@ -1,5 +1,8 @@
 #include "harness/workloads.hpp"
 
+#include <atomic>
+
+#include "dag/future.hpp"
 #include "util/dummy_work.hpp"
 
 namespace spdag::harness {
@@ -25,6 +28,19 @@ void indegree2_rec(std::uint64_t n, std::uint64_t work_ns) {
         [] {});
   } else if (work_ns != 0) {
     spin_ns(work_ns);
+  }
+}
+
+void fanout_rec(future<std::uint64_t> f, std::atomic<std::uint64_t>* sum,
+                std::uint64_t k, std::uint64_t work_ns) {
+  if (k >= 2) {
+    fork2([f, sum, k, work_ns] { fanout_rec(f, sum, k / 2, work_ns); },
+          [f, sum, k, work_ns] { fanout_rec(f, sum, k - k / 2, work_ns); });
+  } else if (k == 1) {
+    future_then(f, [sum, work_ns](std::uint64_t v) {
+      if (work_ns != 0) spin_ns(work_ns);
+      sum->fetch_add(v, std::memory_order_relaxed);
+    });
   }
 }
 
@@ -59,6 +75,24 @@ void indegree2(runtime& rt, std::uint64_t n, std::uint64_t work_ns) {
   rt.run([n, work_ns] { indegree2_rec(n, work_ns); });
 }
 
+std::uint64_t fanout(runtime& rt, std::uint64_t consumers,
+                     std::uint64_t work_ns, std::uint64_t producer_ns) {
+  if (work_ns != 0 || producer_ns != 0) spin_units_per_ns();
+  std::atomic<std::uint64_t> sum{0};
+  auto* s = &sum;
+  rt.run([s, consumers, work_ns, producer_ns] {
+    fork2_future<std::uint64_t>(
+        [producer_ns] {
+          if (producer_ns != 0) spin_ns(producer_ns);
+          return std::uint64_t{1};
+        },
+        [s, consumers, work_ns](future<std::uint64_t> f) {
+          fanout_rec(f, s, consumers, work_ns);
+        });
+  });
+  return sum.load();
+}
+
 std::uint64_t fib(runtime& rt, unsigned n) {
   std::uint64_t result = 0;
   std::uint64_t* dest = &result;
@@ -70,6 +104,11 @@ std::uint64_t counter_ops(std::uint64_t n) {
   // Each of the n-1 spawns is one arrive; each of the n leaves plus the n-1
   // spawn continuations resolves one depart obligation. We report the
   // paper's convention (ops = n) scaled to arrive+depart pairs.
+  return 2 * n;
+}
+
+std::uint64_t outset_ops(std::uint64_t n) {
+  // One registration plus one delivery per consumer.
   return 2 * n;
 }
 

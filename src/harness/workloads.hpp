@@ -23,6 +23,18 @@ void fanin(runtime& rt, std::uint64_t n, std::uint64_t work_ns = 0);
 // Runs one indegree-2 computation of n leaves to completion on rt.
 void indegree2(runtime& rt, std::uint64_t n, std::uint64_t work_ns = 0);
 
+// fanout(consumers): ONE producer completes one future while `consumers`
+// parallel tasks register against it — the mirror image of fanin, and the
+// worst case for a centralized waiter list (the out-set benchmark's
+// workload). `producer_ns` delays the completion so registrations pile up
+// against the pending future (with 0, multi-worker runs complete almost
+// immediately and most consumers take the already-ready bypass);
+// `work_ns` is per-consumer busy work after delivery. Returns the sum the
+// consumers accumulated (== consumers, the produced value is 1) so callers
+// can assert exactly-once delivery.
+std::uint64_t fanout(runtime& rt, std::uint64_t consumers,
+                     std::uint64_t work_ns = 0, std::uint64_t producer_ns = 0);
+
 // Parallel Fibonacci on the sp-dag (the paper's running example, Figure 4).
 // Exponential work; use small n. Returns fib(n).
 std::uint64_t fib(runtime& rt, unsigned n);
@@ -30,5 +42,9 @@ std::uint64_t fib(runtime& rt, unsigned n);
 // The number of dependency-counter operations (arrives + departs on finish
 // counters) a workload of n leaves performs; used for throughput reporting.
 std::uint64_t counter_ops(std::uint64_t n);
+
+// The number of out-set operations (registrations + deliveries) a fanout
+// workload of n consumers performs.
+std::uint64_t outset_ops(std::uint64_t n);
 
 }  // namespace spdag::harness

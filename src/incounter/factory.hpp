@@ -114,6 +114,9 @@ class locked_factory final : public counter_factory {
 //                                 order, which voids Lemma 4.6's safety)
 //   "locked"                      mutex oracle (tests only)
 // Throws std::invalid_argument on anything else.
+// (The fan-out dual — "outset:simple" / "outset:tree[:fanout]" specs for
+// future waiter broadcast — is parsed by make_outset_factory in
+// src/outset/factory.hpp.)
 std::unique_ptr<counter_factory> make_counter_factory(
     const std::string& spec, snzi::tree_stats* stats = nullptr);
 

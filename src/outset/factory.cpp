@@ -1,0 +1,100 @@
+#include "outset/factory.hpp"
+
+#include <stdexcept>
+
+#include "outset/simple_outset.hpp"
+
+namespace spdag {
+
+namespace {
+
+// reset() sink: hand stranded waiter records straight back to the pool.
+void repool_waiter(void* ctx, outset_waiter* w) {
+  static_cast<outset_factory*>(ctx)->release_waiter(w);
+}
+
+}  // namespace
+
+outset* outset_factory::acquire() {
+  outset* o = pool_.pop();
+  if (o == nullptr) {
+    auto fresh = create();
+    o = fresh.get();
+    std::lock_guard<std::mutex> lock(all_mu_);
+    all_.push_back(std::move(fresh));
+  }
+  return o;
+}
+
+void outset_factory::release(outset* o) {
+  o->reset(&repool_waiter, this);
+  pool_.push(o);
+}
+
+outset_waiter* outset_factory::acquire_waiter(vertex* consumer,
+                                              dag_engine* engine) {
+  outset_waiter* w = waiter_pool_.pop();
+  if (w == nullptr) {
+    auto fresh = std::make_unique<outset_waiter>();
+    w = fresh.get();
+    std::lock_guard<std::mutex> lock(all_mu_);
+    all_waiters_.push_back(std::move(fresh));
+  }
+  w->consumer = consumer;
+  w->engine = engine;
+  w->next.store(nullptr, std::memory_order_relaxed);
+  return w;
+}
+
+std::size_t outset_factory::created() const {
+  std::lock_guard<std::mutex> lock(all_mu_);
+  return all_.size();
+}
+
+std::size_t outset_factory::waiters_created() const {
+  std::lock_guard<std::mutex> lock(all_mu_);
+  return all_waiters_.size();
+}
+
+outset_totals outset_factory::totals() const {
+  std::lock_guard<std::mutex> lock(all_mu_);
+  outset_totals t;
+  for (const auto& o : all_) t += o->totals();
+  return t;
+}
+
+std::unique_ptr<outset> simple_outset_factory::create() {
+  return std::make_unique<simple_outset>();
+}
+
+std::unique_ptr<outset> tree_outset_factory::create() {
+  return std::make_unique<tree_outset>(cfg_);
+}
+
+std::unique_ptr<outset_factory> make_outset_factory(const std::string& spec) {
+  std::string s = spec;
+  if (s.rfind("outset:", 0) == 0) s = s.substr(7);
+  if (s == "simple") return std::make_unique<simple_outset_factory>();
+  if (s == "tree") return std::make_unique<tree_outset_factory>();
+  if (s.rfind("tree:", 0) == 0) {
+    tree_outset_config cfg;
+    const long fanout = std::stol(s.substr(5));
+    // The upper bound is a sanity rail: a group (fanout + 1 cache lines) is
+    // one arena allocation, and fan-outs past a few dozen already defeat the
+    // point of the tree (spreading adds across lines).
+    if (fanout < 2 || fanout > 1024) {
+      throw std::invalid_argument("outset tree fanout must be in [2, 1024]: " +
+                                  spec);
+    }
+    cfg.fanout = static_cast<std::uint32_t>(fanout);
+    return std::make_unique<tree_outset_factory>(cfg);
+  }
+  throw std::invalid_argument("unknown outset spec: " + spec);
+}
+
+outset_factory& default_outset_factory() {
+  static simple_outset_factory factory;
+  return factory;
+}
+
+}  // namespace spdag

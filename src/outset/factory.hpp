@@ -1,0 +1,103 @@
+#pragma once
+// Pooled factories for out-sets, mirroring incounter/factory.hpp.
+//
+// Future-churn workloads (the fan-out analogue of the paper's Figure 10)
+// create one future — and hence one out-set — per iteration, millions of
+// times. The factory pools retired out-sets and waiter records on lock-free
+// stacks so the benchmarks measure the structure's own cost, not malloc's.
+//
+// Spec strings (accepted with or without the "outset:" prefix):
+//   "simple"           single CAS-list head (the baseline)
+//   "tree"             grow-on-contention tree, fanout 2
+//   "tree:<fanout>"    grow-on-contention tree with the given fanout (>= 2)
+// Throws std::invalid_argument on anything else.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "outset/outset.hpp"
+#include "outset/tree_outset.hpp"
+#include "util/treiber_stack.hpp"
+
+namespace spdag {
+
+class outset_factory {
+ public:
+  virtual ~outset_factory() = default;
+
+  // Thread-safe: pops a pooled out-set (or creates one), pristine.
+  outset* acquire();
+
+  // Thread-safe: scrubs `o` (returning any never-delivered waiters to the
+  // waiter pool) and returns it to the out-set pool.
+  void release(outset* o);
+
+  // Thread-safe waiter-record pool (one record per registration).
+  outset_waiter* acquire_waiter(vertex* consumer, dag_engine* engine);
+  void release_waiter(outset_waiter* w) { waiter_pool_.push(w); }
+
+  // Short machine name ("simple", "tree:4") and a plot-legend label.
+  virtual std::string name() const = 0;
+  virtual std::string display_name() const = 0;
+
+  // Out-sets / waiter records created over the factory's lifetime (pool
+  // effectiveness).
+  std::size_t created() const;
+  std::size_t waiters_created() const;
+
+  // Instrumentation summed over every out-set this factory ever created
+  // (counters are monotone across pooling generations). The headline stat:
+  // totals().add_cas_retries / totals().adds is the per-registration retry
+  // rate, which stays flat for the tree as consumer counts grow and climbs
+  // for the single-cell baseline.
+  outset_totals totals() const;
+
+ protected:
+  virtual std::unique_ptr<outset> create() = 0;
+
+ private:
+  treiber_stack<outset> pool_;
+  treiber_stack<outset_waiter> waiter_pool_;
+  mutable std::mutex all_mu_;
+  std::vector<std::unique_ptr<outset>> all_;
+  std::vector<std::unique_ptr<outset_waiter>> all_waiters_;
+};
+
+// --- concrete factories ---
+
+class simple_outset_factory final : public outset_factory {
+ public:
+  std::string name() const override { return "simple"; }
+  std::string display_name() const override { return "CAS list"; }
+
+ protected:
+  std::unique_ptr<outset> create() override;
+};
+
+class tree_outset_factory final : public outset_factory {
+ public:
+  explicit tree_outset_factory(tree_outset_config cfg = {}) : cfg_(cfg) {}
+  std::string name() const override {
+    return "tree:" + std::to_string(cfg_.fanout);
+  }
+  std::string display_name() const override { return "out-set tree"; }
+  const tree_outset_config& config() const noexcept { return cfg_; }
+
+ protected:
+  std::unique_ptr<outset> create() override;
+
+ private:
+  tree_outset_config cfg_;
+};
+
+// Parses an out-set spec (see file comment).
+std::unique_ptr<outset_factory> make_outset_factory(const std::string& spec);
+
+// Process-wide simple factory used by engines and futures that were not
+// handed an explicit factory (tests constructing futures outside a runtime).
+outset_factory& default_outset_factory();
+
+}  // namespace spdag

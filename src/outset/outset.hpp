@@ -1,0 +1,143 @@
+#pragma once
+// Out-set: the fan-out dual of the in-counter.
+//
+// The in-counter (paper sections 3-5) removes the contention hotspot on the
+// fan-*in* side of dependency tracking: many signalers decrementing one
+// finish counter. Futures introduce the symmetric hotspot on the fan-*out*
+// side: many consumers registering against one producer. An out-set is the
+// structure that absorbs those registrations — a set of waiting consumers
+// with three operations:
+//
+//   add(w)       called by a registering consumer. Returns true if the
+//                out-set captured w (finalize will deliver it), false if the
+//                out-set was already finalized (the caller must deliver the
+//                consumer itself). Linearizable and lock-free.
+//   finalize(f)  called exactly once by the completing producer. Invokes f
+//                on every captured waiter exactly once, streaming them out
+//                as the traversal proceeds, and flips the out-set into the
+//                terminated state in which every later add returns false.
+//   reset(f)     non-concurrent reinitialization for object pooling; any
+//                never-delivered waiters are handed to f for reclamation
+//                (an abandoned future's registrations).
+//
+// The add/finalize race is resolved *per node* with a terminated sentinel
+// installed in each list head (and, for the tree implementation, in each
+// children pointer), never with a per-future flag — that is what lets
+// concurrent adds against a finalizing out-set land on disjoint cache lines
+// instead of all re-checking one shared word.
+//
+// The out-set never dereferences the consumer/engine pointers it carries;
+// delivery policy (schedule the vertex on its engine) lives with the caller,
+// which keeps this layer independent of the dag and directly unit-testable.
+
+#include <atomic>
+#include <cstdint>
+
+namespace spdag {
+
+class vertex;      // not dereferenced here; see src/dag/vertex.hpp
+class dag_engine;  // not dereferenced here; see src/dag/engine.hpp
+
+// One registered consumer. Allocated and pooled by the outset_factory; the
+// out-set links captured waiters through `next`.
+struct outset_waiter {
+  vertex* consumer = nullptr;
+  dag_engine* engine = nullptr;
+  std::atomic<outset_waiter*> next{nullptr};       // intrusive capture list
+  std::atomic<outset_waiter*> pool_next{nullptr};  // factory pool linkage
+};
+
+// Aggregate view of one out-set's relaxed instrumentation counters.
+struct outset_totals {
+  std::uint64_t adds = 0;             // successful captures
+  std::uint64_t add_cas_retries = 0;  // failed head CASes across all adds
+  std::uint64_t rejected_adds = 0;    // adds that lost to finalize
+  std::uint64_t delivered = 0;        // waiters handed to a finalize sink
+
+  outset_totals& operator+=(const outset_totals& o) noexcept {
+    adds += o.adds;
+    add_cas_retries += o.add_cas_retries;
+    rejected_adds += o.rejected_adds;
+    delivered += o.delivered;
+    return *this;
+  }
+};
+
+class outset {
+ public:
+  // What finalize/reset do with each captured waiter (plain function pointer
+  // + context so implementations stay non-template; future_state passes its
+  // factory as ctx and schedules + reclaims, tests just count).
+  using waiter_sink = void (*)(void* ctx, outset_waiter* w);
+
+  virtual ~outset() = default;
+
+  // See file comment. Thread-safe against concurrent add and one finalize.
+  virtual bool add(outset_waiter* w) noexcept = 0;
+
+  // See file comment. Must be called at most once per reset-generation, by
+  // one thread; concurrent adds are safe.
+  virtual void finalize(waiter_sink sink, void* ctx) = 0;
+
+  // See file comment. Non-concurrent.
+  virtual void reset(waiter_sink sink, void* ctx) = 0;
+
+  outset_totals totals() const noexcept {
+    outset_totals t;
+    t.adds = adds_.load(std::memory_order_relaxed);
+    t.add_cas_retries = add_cas_retries_.load(std::memory_order_relaxed);
+    t.rejected_adds = rejected_adds_.load(std::memory_order_relaxed);
+    t.delivered = delivered_.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  std::atomic<outset*> pool_next{nullptr};  // factory pool linkage
+
+ protected:
+  // Distinguished list-head value marking a node as finalized. Never
+  // dereferenced; compared by address only.
+  static outset_waiter* terminated_waiter() noexcept {
+    return reinterpret_cast<outset_waiter*>(std::uintptr_t{1});
+  }
+
+  void count_add() noexcept { adds_.fetch_add(1, std::memory_order_relaxed); }
+  void count_retry() noexcept {
+    add_cas_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_rejected() noexcept {
+    rejected_adds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_delivered() noexcept {
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Delivers an exchanged capture list to `sink`, oldest registration last
+  // (list order is LIFO like the Treiber stack it replaces; consumers are
+  // independent so order is unobservable).
+  void drain_chain(outset_waiter* w, waiter_sink sink, void* ctx) {
+    while (w != nullptr && w != terminated_waiter()) {
+      outset_waiter* next = w->next.load(std::memory_order_relaxed);
+      count_delivered();
+      sink(ctx, w);
+      w = next;
+    }
+  }
+
+  // reset() helper: hands a chain's records to `sink` for reclamation
+  // WITHOUT counting them as delivered (abandoned registrations).
+  static void scrub_chain(outset_waiter* w, waiter_sink sink, void* ctx) {
+    while (w != nullptr && w != terminated_waiter()) {
+      outset_waiter* next = w->next.load(std::memory_order_relaxed);
+      sink(ctx, w);
+      w = next;
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> adds_{0};
+  std::atomic<std::uint64_t> add_cas_retries_{0};
+  std::atomic<std::uint64_t> rejected_adds_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+}  // namespace spdag

@@ -1,0 +1,36 @@
+#include "outset/simple_outset.hpp"
+
+namespace spdag {
+
+bool simple_outset::add(outset_waiter* w) noexcept {
+  outset_waiter* head = head_.load(std::memory_order_acquire);
+  for (;;) {
+    if (head == terminated_waiter()) {
+      // The producer finalized first; the hand-off is the caller's.
+      count_rejected();
+      return false;
+    }
+    w->next.store(head, std::memory_order_relaxed);
+    if (head_.compare_exchange_weak(head, w, std::memory_order_release,
+                                    std::memory_order_acquire)) {
+      count_add();
+      return true;
+    }
+    count_retry();
+  }
+}
+
+void simple_outset::finalize(waiter_sink sink, void* ctx) {
+  // One exchange atomically captures every waiter that won its add-CAS and
+  // terminates the out-set: adds that lose from here on see the sentinel.
+  outset_waiter* w =
+      head_.exchange(terminated_waiter(), std::memory_order_acq_rel);
+  drain_chain(w, sink, ctx);
+}
+
+void simple_outset::reset(waiter_sink sink, void* ctx) {
+  // Registrations an abandoned future left behind go back to the pool.
+  scrub_chain(head_.exchange(nullptr, std::memory_order_relaxed), sink, ctx);
+}
+
+}  // namespace spdag

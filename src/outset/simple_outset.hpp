@@ -1,0 +1,26 @@
+#pragma once
+// simple_outset: the single-cell CAS-list out-set.
+//
+// This is the baseline the out-set work is measured against — the behavior
+// future_state had before the subsystem existed, extracted behind the
+// interface: one atomic list head that every registering consumer CASes and
+// that finalize exchanges for the terminated sentinel. Correct and compact,
+// but every concurrent add fights over the same cache line, so under high
+// fan-out the per-add CAS retry count grows with the number of concurrent
+// consumers (the fan-out analogue of the paper's Fetch & Add baseline).
+
+#include "outset/outset.hpp"
+
+namespace spdag {
+
+class simple_outset final : public outset {
+ public:
+  bool add(outset_waiter* w) noexcept override;
+  void finalize(waiter_sink sink, void* ctx) override;
+  void reset(waiter_sink sink, void* ctx) override;
+
+ private:
+  std::atomic<outset_waiter*> head_{nullptr};
+};
+
+}  // namespace spdag

@@ -1,0 +1,162 @@
+#include "outset/tree_outset.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace spdag {
+
+tree_outset::tree_outset(tree_outset_config cfg)
+    : cfg_(cfg),
+      // A chunk must fit at least one child group (header + fanout nodes),
+      // or block_arena::allocate would loop forever growing chunks that can
+      // never satisfy the request.
+      arena_(std::max<std::size_t>(
+          cfg.arena_chunk_bytes,
+          cache_line_size * (std::size_t{cfg.fanout} + 1))) {
+  assert(cfg_.fanout >= 2 && "a tree out-set needs at least two children");
+}
+
+bool tree_outset::add(outset_waiter* w) noexcept {
+  tree_node* n = &base_;
+  std::uint32_t depth = 0;
+  for (;;) {
+    outset_waiter* head = n->head.load(std::memory_order_acquire);
+    for (;;) {
+      if (head == terminated_waiter()) {
+        // This node was drained, so the whole out-set is finalizing (only
+        // finalize installs the sentinel); the hand-off is the caller's.
+        count_rejected();
+        return false;
+      }
+      w->next.store(head, std::memory_order_relaxed);
+      if (n->head.compare_exchange_weak(head, w, std::memory_order_release,
+                                        std::memory_order_acquire)) {
+        count_add();
+        return true;
+      }
+      count_retry();
+      // Another consumer hit this cache line in our window — the contention
+      // signal. Move down to spread out, unless the depth cap says to stay
+      // and fight on this line.
+      if (depth < cfg_.max_depth) break;
+    }
+    tree_node* kids = n->children.load(std::memory_order_acquire);
+    if (kids == nullptr) kids = grow(n);
+    if (kids == terminated_children()) {
+      // finalize sealed this node before any group could be installed; the
+      // future is completed and the caller delivers its consumer itself.
+      count_rejected();
+      return false;
+    }
+    n = kids + thread_rng().below(cfg_.fanout);
+    ++depth;
+  }
+}
+
+tree_outset::tree_node* tree_outset::grow(tree_node* n) noexcept {
+  node_group* g = free_groups_.pop();
+  if (g == nullptr) {
+    // Fresh group: one header line + fanout node lines, bump-allocated so
+    // growth on the registration critical path never calls malloc.
+    void* raw = arena_.allocate(
+        cache_line_size + cfg_.fanout * sizeof(tree_node), cache_line_size);
+    g = ::new (raw) node_group{};
+    for (std::uint32_t i = 0; i < cfg_.fanout; ++i) {
+      ::new (g->nodes() + i) tree_node{};
+    }
+  }
+  // Pooled groups were scrubbed by reset_node before being pushed.
+  tree_node* expected = nullptr;
+  if (n->children.compare_exchange_strong(expected, g->nodes(),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+    return g->nodes();
+  }
+  free_groups_.push(g);
+  return expected;  // the winning group — or the finalizer's sentinel
+}
+
+void tree_outset::finalize(waiter_sink sink, void* ctx) {
+  finalize_node(&base_, sink, ctx);
+}
+
+void tree_outset::finalize_node(tree_node* n, waiter_sink sink, void* ctx) {
+  // Seal the children pointer BEFORE draining the list head. The pointer is
+  // write-once: either we read an installed group here (and will descend
+  // into it), or our sentinel lands and no group can ever be installed —
+  // so no add can sneak a waiter under a node we already passed.
+  tree_node* kids = n->children.load(std::memory_order_acquire);
+  if (kids == nullptr) {
+    n->children.compare_exchange_strong(kids, terminated_children(),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+    // On failure a concurrent grow won; `kids` now holds its group.
+  }
+  outset_waiter* w =
+      n->head.exchange(terminated_waiter(), std::memory_order_acq_rel);
+  // Stream this node's waiters out before touching descendants: consumers
+  // captured near the top of the tree are already running on other workers
+  // while deeper nodes drain — the broadcast proceeds in parallel down the
+  // tree.
+  drain_chain(w, sink, ctx);
+  if (kids != nullptr && kids != terminated_children()) {
+    for (std::uint32_t i = 0; i < cfg_.fanout; ++i) {
+      finalize_node(kids + i, sink, ctx);
+    }
+  }
+}
+
+void tree_outset::reset(waiter_sink sink, void* ctx) {
+  reset_node(&base_, sink, ctx);
+}
+
+void tree_outset::reset_node(tree_node* n, waiter_sink sink, void* ctx) {
+  // Abandoned registrations go back to the pool undelivered.
+  scrub_chain(n->head.exchange(nullptr, std::memory_order_relaxed), sink, ctx);
+  tree_node* kids = n->children.exchange(nullptr, std::memory_order_relaxed);
+  if (kids != nullptr && kids != terminated_children()) {
+    for (std::uint32_t i = 0; i < cfg_.fanout; ++i) {
+      reset_node(kids + i, sink, ctx);
+    }
+    free_groups_.push(node_group::from_nodes(kids));
+  }
+}
+
+std::size_t tree_outset::count_nodes(const tree_node* n, std::uint32_t fanout) {
+  std::size_t total = 1;
+  const tree_node* kids = n->children.load(std::memory_order_acquire);
+  if (kids != nullptr && kids != terminated_children()) {
+    for (std::uint32_t i = 0; i < fanout; ++i) {
+      total += count_nodes(kids + i, fanout);
+    }
+  }
+  return total;
+}
+
+std::size_t tree_outset::depth_below(const tree_node* n, std::uint32_t fanout) {
+  std::size_t deepest = 0;
+  const tree_node* kids = n->children.load(std::memory_order_acquire);
+  if (kids != nullptr && kids != terminated_children()) {
+    for (std::uint32_t i = 0; i < fanout; ++i) {
+      const std::size_t d = 1 + depth_below(kids + i, fanout);
+      if (d > deepest) deepest = d;
+    }
+  }
+  return deepest;
+}
+
+std::size_t tree_outset::node_count() const {
+  return count_nodes(&base_, cfg_.fanout);
+}
+
+std::size_t tree_outset::max_depth() const {
+  return depth_below(&base_, cfg_.fanout);
+}
+
+std::size_t tree_outset::recycled_group_count() const {
+  return free_groups_.size_slow();
+}
+
+}  // namespace spdag

@@ -1,0 +1,115 @@
+#pragma once
+// tree_outset: a lock-free, grow-on-contention out-set tree — the symmetric
+// counterpart of snzi_tree::grow() on the fan-out side.
+//
+// Shape. Every node owns one cache line holding a waiter-list head and a
+// children pointer. A registering consumer starts at the base node and tries
+// one CAS on the current node's list head. Success means the consumer has
+// claimed a slot on that node's line and is done. Failure means another
+// consumer hit the same line in the same window — the very contention signal
+// snzi's grow() keys off — so the add *grows* the node (installing a group
+// of `fanout` fresh children, each on its own cache line, with a single CAS,
+// exactly like grow() installs a child_pair) and descends into a child
+// chosen by a thread-local coin. Concurrent adds therefore separate after
+// O(log_fanout c) failures in expectation and keep landing on disjoint
+// lines; a single-threaded add is one uncontended CAS on the base, the same
+// cost as simple_outset.
+//
+// Finalize. The producer walks the tree top-down. At each node it first
+// seals the children pointer (CASing in a terminated sentinel when the node
+// is childless, so no group can be installed under an already-drained node),
+// then exchanges the list head for the terminated-waiter sentinel and
+// streams the captured waiters to the sink *before* descending — consumers
+// registered near the top of the tree are running on other workers while
+// deeper nodes are still being drained, which is what "broadcast in parallel
+// down the tree" means here. The add/finalize race is thereby resolved per
+// node: an add that loses a head CAS to the sentinel, or a grow that loses
+// the children CAS to the sentinel, returns false and the registrant
+// schedules its consumer itself (the future is already completed — both
+// sentinels are only ever installed by finalize, which the producer calls
+// after publishing the value).
+//
+// Memory. Child groups are carved from a per-outset bump arena and recycled
+// through a tagged Treiber stack across reset() generations, so Figure-10
+// style churn (one future per iteration, millions of iterations) measures
+// the structure, not malloc — the same policy as the in-counter's arena.
+
+#include <cstdint>
+
+#include "outset/outset.hpp"
+#include "util/arena.hpp"
+#include "util/cache_aligned.hpp"
+#include "util/treiber_stack.hpp"
+
+namespace spdag {
+
+struct tree_outset_config {
+  // Children installed per grow. 2 mirrors snzi's child_pair; wider fanouts
+  // trade tree depth for a bigger finalize frontier.
+  std::uint32_t fanout = 2;
+  // Depth at which adds stop growing and spin on the deepest node's line.
+  // Bounds the tree at fanout^max_depth nodes; with grow-on-contention the
+  // expected depth is log_fanout(concurrent adders), far below the cap.
+  std::uint32_t max_depth = 12;
+  std::size_t arena_chunk_bytes = 1 << 12;
+};
+
+class tree_outset final : public outset {
+ public:
+  explicit tree_outset(tree_outset_config cfg = {});
+
+  bool add(outset_waiter* w) noexcept override;
+  void finalize(waiter_sink sink, void* ctx) override;
+  void reset(waiter_sink sink, void* ctx) override;
+
+  std::uint32_t fanout() const noexcept { return cfg_.fanout; }
+
+  // --- non-concurrent introspection (tests, space accounting) ---
+  std::size_t node_count() const;  // reachable nodes incl. base
+  std::size_t max_depth() const;   // base = depth 0
+  std::size_t recycled_group_count() const;
+
+ private:
+  struct alignas(cache_line_size) tree_node {
+    std::atomic<outset_waiter*> head{nullptr};
+    // First node of a `fanout`-wide child group, terminated_children(), or
+    // nullptr while childless.
+    std::atomic<tree_node*> children{nullptr};
+  };
+  static_assert(sizeof(tree_node) == cache_line_size,
+                "an out-set node must own exactly one cache line");
+
+  // One arena allocation: a header line followed by `fanout` nodes. While
+  // pooled the group sits on a tagged Treiber stack (like snzi's child_pair
+  // recycling) chained through `pool_next`.
+  struct alignas(cache_line_size) node_group {
+    std::atomic<node_group*> pool_next{nullptr};
+    tree_node* nodes() noexcept {
+      return reinterpret_cast<tree_node*>(reinterpret_cast<char*>(this) +
+                                          cache_line_size);
+    }
+    static node_group* from_nodes(tree_node* n) noexcept {
+      return reinterpret_cast<node_group*>(reinterpret_cast<char*>(n) -
+                                           cache_line_size);
+    }
+  };
+
+  static tree_node* terminated_children() noexcept {
+    return reinterpret_cast<tree_node*>(std::uintptr_t{1});
+  }
+
+  // Returns n's children, installing a fresh group if absent. May return
+  // terminated_children() when finalize sealed the node first.
+  tree_node* grow(tree_node* n) noexcept;
+  void finalize_node(tree_node* n, waiter_sink sink, void* ctx);
+  void reset_node(tree_node* n, waiter_sink sink, void* ctx);
+  static std::size_t count_nodes(const tree_node* n, std::uint32_t fanout);
+  static std::size_t depth_below(const tree_node* n, std::uint32_t fanout);
+
+  tree_outset_config cfg_;
+  block_arena arena_;
+  tree_node base_;
+  treiber_stack<node_group> free_groups_;
+};
+
+}  // namespace spdag

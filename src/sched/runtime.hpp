@@ -11,6 +11,10 @@
 // Scheduler specs: "ws" (concurrent Chase-Lev deques, the default) or
 // "private" (private deques with explicit steal requests, the PPoPP'13
 // algorithm the reproduced paper's own evaluation used).
+//
+// Out-set specs (waiter broadcast for futures, see make_outset_factory):
+// "simple" (single CAS-list head, the default) or "tree[:fanout]" (the
+// grow-on-contention out-set tree).
 
 #include <cstddef>
 #include <memory>
@@ -20,6 +24,7 @@
 
 #include "dag/engine.hpp"
 #include "incounter/factory.hpp"
+#include "outset/factory.hpp"
 #include "sched/private_deques.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/scheduler_base.hpp"
@@ -33,6 +38,9 @@ struct runtime_config {
   snzi::tree_stats* snzi_stats = nullptr;
   dag_engine_options engine_options = {};
   std::string sched = "ws";    // "ws" | "private"
+  // Out-set spec for futures created under this runtime, see
+  // make_outset_factory: "simple" (default) | "tree[:fanout]".
+  std::string outset = "simple";
 };
 
 // Builds a scheduler from its spec string.
@@ -57,8 +65,10 @@ class runtime {
  public:
   explicit runtime(runtime_config cfg = {})
       : factory_(make_counter_factory(cfg.counter, cfg.snzi_stats)),
+        outsets_(make_outset_factory(cfg.outset)),
         sched_(make_scheduler(cfg.sched, cfg.workers, cfg.pin_threads)),
-        engine_(*factory_, *sched_, cfg.engine_options) {}
+        engine_(*factory_, *sched_,
+                with_outsets(cfg.engine_options, outsets_.get())) {}
 
   runtime(const runtime&) = delete;
   runtime& operator=(const runtime&) = delete;
@@ -74,10 +84,21 @@ class runtime {
   dag_engine& engine() noexcept { return engine_; }
   scheduler_base& sched() noexcept { return *sched_; }
   counter_factory& factory() noexcept { return *factory_; }
+  // The factory futures actually use — the engine's, which is the spec
+  // factory unless engine_options.outsets overrode it.
+  outset_factory& outsets() noexcept { return engine_.outsets(); }
   std::size_t workers() const noexcept { return sched_->worker_count(); }
 
  private:
+  static dag_engine_options with_outsets(dag_engine_options o,
+                                         outset_factory* f) noexcept {
+    // A factory set explicitly in engine_options wins over the spec string.
+    if (o.outsets == nullptr) o.outsets = f;
+    return o;
+  }
+
   std::unique_ptr<counter_factory> factory_;
+  std::unique_ptr<outset_factory> outsets_;
   std::unique_ptr<scheduler_base> sched_;
   dag_engine engine_;
 };

@@ -1,0 +1,300 @@
+// Parameterized conformance suite: every outset implementation must satisfy
+// the same observable contract — exactly-once hand-off of every registered
+// waiter across arbitrary add/finalize interleavings. Instantiated over
+// out-set specs like counter_conformance_test is over counter specs.
+//
+// The out-set never dereferences the consumer/engine pointers it carries, so
+// these tests tag waiters with fake consumer pointers (an index encoded as a
+// pointer) and count deliveries through the sink.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "outset/factory.hpp"
+#include "outset/simple_outset.hpp"
+#include "outset/tree_outset.hpp"
+
+namespace spdag {
+namespace {
+
+vertex* fake_consumer(std::size_t index) {
+  return reinterpret_cast<vertex*>((index + 1) << 4);
+}
+std::size_t consumer_index(const outset_waiter* w) {
+  return (reinterpret_cast<std::uintptr_t>(w->consumer) >> 4) - 1;
+}
+
+// Sink that counts per-waiter deliveries and repools the record.
+struct delivery_log {
+  outset_factory* factory = nullptr;
+  std::vector<std::atomic<std::uint32_t>> delivered;
+
+  explicit delivery_log(outset_factory* f, std::size_t n)
+      : factory(f), delivered(n) {}
+
+  static void sink(void* ctx, outset_waiter* w) {
+    auto* log = static_cast<delivery_log*>(ctx);
+    log->delivered[consumer_index(w)].fetch_add(1, std::memory_order_relaxed);
+    log->factory->release_waiter(w);
+  }
+};
+
+class OutsetConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { factory_ = make_outset_factory(GetParam()); }
+  std::unique_ptr<outset_factory> factory_;
+};
+
+TEST_P(OutsetConformance, FinalizeDeliversEveryCapturedWaiterOnce) {
+  constexpr std::size_t kWaiters = 100;
+  outset* o = factory_->acquire();
+  delivery_log log(factory_.get(), kWaiters);
+  for (std::size_t i = 0; i < kWaiters; ++i) {
+    EXPECT_TRUE(o->add(factory_->acquire_waiter(fake_consumer(i), nullptr)));
+  }
+  o->finalize(&delivery_log::sink, &log);
+  for (std::size_t i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(log.delivered[i].load(), 1u) << "waiter " << i;
+  }
+  factory_->release(o);
+}
+
+TEST_P(OutsetConformance, AddAfterFinalizeIsRejected) {
+  outset* o = factory_->acquire();
+  delivery_log log(factory_.get(), 1);
+  o->finalize(&delivery_log::sink, &log);
+  outset_waiter* w = factory_->acquire_waiter(fake_consumer(0), nullptr);
+  EXPECT_FALSE(o->add(w)) << "the registrant must self-deliver after finalize";
+  factory_->release_waiter(w);
+  EXPECT_EQ(log.delivered[0].load(), 0u);
+  EXPECT_GE(o->totals().rejected_adds, 1u);
+  factory_->release(o);
+}
+
+TEST_P(OutsetConformance, FinalizeOnEmptyOutsetDeliversNothing) {
+  outset* o = factory_->acquire();
+  delivery_log log(factory_.get(), 1);
+  o->finalize(&delivery_log::sink, &log);
+  EXPECT_EQ(o->totals().delivered, 0u);
+  factory_->release(o);
+}
+
+TEST_P(OutsetConformance, ExactlyOnceAcrossConcurrentAddsAndFinalize) {
+  // The core guarantee: with adders racing the finalizer, every waiter is
+  // either captured (delivered by finalize exactly once) or rejected (its
+  // adder delivers) — never both, never neither.
+  constexpr int kThreads = 4;
+  constexpr std::size_t kPerThread = 256;
+  for (int round = 0; round < 50; ++round) {
+    outset* o = factory_->acquire();
+    delivery_log log(factory_.get(), kThreads * kPerThread);
+    std::atomic<std::uint32_t> self_delivered{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> adders;
+    for (int t = 0; t < kThreads; ++t) {
+      adders.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          const std::size_t idx = static_cast<std::size_t>(t) * kPerThread + i;
+          outset_waiter* w =
+              factory_->acquire_waiter(fake_consumer(idx), nullptr);
+          if (!o->add(w)) {
+            // Rejected: the "schedule it yourself" path.
+            log.delivered[idx].fetch_add(1, std::memory_order_relaxed);
+            self_delivered.fetch_add(1, std::memory_order_relaxed);
+            factory_->release_waiter(w);
+          }
+        }
+      });
+    }
+    std::thread finalizer([&] {
+      go.store(true, std::memory_order_release);
+      // Land the finalize mid-wave.
+      std::this_thread::yield();
+      o->finalize(&delivery_log::sink, &log);
+    });
+    for (auto& th : adders) th.join();
+    finalizer.join();
+    for (std::size_t i = 0; i < log.delivered.size(); ++i) {
+      ASSERT_EQ(log.delivered[i].load(), 1u)
+          << "round " << round << ", waiter " << i;
+    }
+    factory_->release(o);
+  }
+}
+
+TEST_P(OutsetConformance, ResetRepoolsAbandonedRegistrations) {
+  outset* o = factory_->acquire();
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(o->add(factory_->acquire_waiter(fake_consumer(i), nullptr)));
+  }
+  factory_->release(o);  // reset: no deliveries, records back to the pool
+  // The pooled records and out-set are reused: no new allocations.
+  outset* p = factory_->acquire();
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(p->add(factory_->acquire_waiter(fake_consumer(i), nullptr)));
+  }
+  delivery_log log(factory_.get(), 32);
+  p->finalize(&delivery_log::sink, &log);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(log.delivered[i].load(), 1u);
+  factory_->release(p);
+  EXPECT_EQ(factory_->created(), 1u) << "release must actually pool out-sets";
+  EXPECT_LE(factory_->waiters_created(), 32u)
+      << "release_waiter must actually pool records";
+}
+
+TEST_P(OutsetConformance, CountersTallyAddsAndDeliveries) {
+  outset* o = factory_->acquire();
+  const outset_totals before = o->totals();
+  for (std::size_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(o->add(factory_->acquire_waiter(fake_consumer(i), nullptr)));
+  }
+  delivery_log log(factory_.get(), 16);
+  o->finalize(&delivery_log::sink, &log);
+  const outset_totals after = o->totals();
+  EXPECT_EQ(after.adds - before.adds, 16u);
+  EXPECT_EQ(after.delivered - before.delivered, 16u);
+  factory_->release(o);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOutsets, OutsetConformance,
+                         ::testing::Values("simple", "tree", "tree:4",
+                                           "outset:tree:8"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == ':') ch = '_';
+                           }
+                           return name;
+                         });
+
+// --- tree-specific structure tests ---
+
+TEST(TreeOutset, StaysSingleNodeWithoutContention) {
+  tree_outset o;
+  simple_outset_factory pool;  // waiter records only
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(o.add(pool.acquire_waiter(fake_consumer(i), nullptr)));
+  }
+  // Uncontended adds are one CAS on the base node, like simple_outset.
+  EXPECT_EQ(o.node_count(), 1u);
+  EXPECT_EQ(o.totals().add_cas_retries, 0u);
+}
+
+TEST(TreeOutset, GrowsUnderContentionAndRecyclesGroups) {
+  tree_outset_config cfg;
+  cfg.fanout = 2;
+  tree_outset o(cfg);
+  simple_outset_factory pool;
+  constexpr int kThreads = 4;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> adders;
+  for (int t = 0; t < kThreads; ++t) {
+    adders.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(o.add(pool.acquire_waiter(
+            fake_consumer(static_cast<std::size_t>(t) * 5000 + i), nullptr)));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : adders) th.join();
+  const std::size_t grown_nodes = o.node_count();
+  EXPECT_EQ(o.totals().adds, static_cast<std::uint64_t>(kThreads) * 5000u);
+  // Scrub and reuse: groups return to the free stack, not to malloc.
+  o.reset(
+      [](void* ctx, outset_waiter* w) {
+        static_cast<simple_outset_factory*>(ctx)->release_waiter(w);
+      },
+      &pool);
+  EXPECT_EQ(o.node_count(), 1u);
+  if (grown_nodes > 1) {
+    // At least every installed group is back on the free stack; grow() races
+    // can park additional loser groups there too, so this is a lower bound.
+    EXPECT_GE(o.recycled_group_count(), (grown_nodes - 1) / cfg.fanout);
+  }
+}
+
+TEST(TreeOutset, DepthNeverExceedsCap) {
+  tree_outset_config cfg;
+  cfg.fanout = 2;
+  cfg.max_depth = 3;
+  tree_outset o(cfg);
+  simple_outset_factory pool;
+  constexpr int kThreads = 8;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> adders;
+  for (int t = 0; t < kThreads; ++t) {
+    adders.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(o.add(pool.acquire_waiter(
+            fake_consumer(static_cast<std::size_t>(t) * 2000 + i), nullptr)));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : adders) th.join();
+  EXPECT_LE(o.max_depth(), 3u);
+}
+
+// --- factory / spec parsing ---
+
+TEST(OutsetFactory, ParsesSpecs) {
+  EXPECT_EQ(make_outset_factory("simple")->name(), "simple");
+  EXPECT_EQ(make_outset_factory("tree")->name(), "tree:2");
+  EXPECT_EQ(make_outset_factory("tree:4")->name(), "tree:4");
+  EXPECT_EQ(make_outset_factory("outset:simple")->name(), "simple");
+  EXPECT_EQ(make_outset_factory("outset:tree:8")->name(), "tree:8");
+  EXPECT_THROW(make_outset_factory("bogus"), std::invalid_argument);
+  EXPECT_THROW(make_outset_factory("tree:1"), std::invalid_argument);
+  EXPECT_THROW(make_outset_factory("tree:100000"), std::invalid_argument);
+}
+
+TEST(OutsetFactory, WideFanoutGroupsFitTheArena) {
+  // Regression: a group wider than the default arena chunk must not hang
+  // block_arena::allocate (the chunk is sized up to fit one group).
+  auto f = make_outset_factory("tree:128");
+  outset* o = f->acquire();
+  simple_outset_factory pool;
+  constexpr int kThreads = 4;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> adders;
+  for (int t = 0; t < kThreads; ++t) {
+    adders.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(o->add(pool.acquire_waiter(
+            fake_consumer(static_cast<std::size_t>(t) * 2000 + i), nullptr)));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : adders) th.join();
+  EXPECT_EQ(o->totals().adds, static_cast<std::uint64_t>(kThreads) * 2000u);
+  f->release(o);
+}
+
+TEST(OutsetFactory, DisplayNames) {
+  EXPECT_EQ(make_outset_factory("simple")->display_name(), "CAS list");
+  EXPECT_EQ(make_outset_factory("tree")->display_name(), "out-set tree");
+}
+
+TEST(OutsetFactory, DefaultFactoryIsSimpleAndProcessWide) {
+  EXPECT_EQ(default_outset_factory().name(), "simple");
+  EXPECT_EQ(&default_outset_factory(), &default_outset_factory());
+}
+
+}  // namespace
+}  // namespace spdag
