@@ -5,12 +5,13 @@
 // container has a single memory domain, so the same knob is unavailable;
 // what the NUMA policy actually varies is *where counter nodes live relative
 // to the workers touching them* and how allocation requests batch. We turn
-// the nearest available knob with the same mechanism: the arena chunk size
-// that in-counter nodes are carved from — tiny chunks force frequent global
-// allocations (the "remote/unbatched" end), large chunks amortize them (the
-// "local/batched" end). The paper-shaped claim to check is the same:
-// allocation placement policy does not significantly move fanin throughput.
-// The substitution is documented in DESIGN.md section 4.
+// the nearest available knob with the same mechanism: the slab block size
+// of the pool registry that in-counter nodes (and vertices/dec-pairs) are
+// carved from — tiny blocks force frequent upstream allocations (the
+// "remote/unbatched" end), large blocks amortize them (the "local/batched"
+// end). The paper-shaped claim to check is the same: allocation placement
+// policy does not significantly move fanin throughput. The substitution is
+// documented in DESIGN.md section 4.
 
 #include <benchmark/benchmark.h>
 
@@ -31,17 +32,17 @@ namespace {
 
 using namespace spdag;
 
-void register_config(std::size_t chunk_bytes, std::size_t workers,
+void register_config(std::size_t block_bytes, std::size_t workers,
                      std::uint64_t n, int runs) {
-  const std::string name = "fig13/fanin/dyn/chunk:" + std::to_string(chunk_bytes) +
+  const std::string name = "fig13/fanin/dyn/block:" + std::to_string(block_bytes) +
                            "/proc:" + std::to_string(workers);
   benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+    slab_pool_registry pools(block_bytes);
     incounter_config cfg;
     cfg.grow_threshold = 100;
-    cfg.arena_chunk_bytes = chunk_bytes;
-    incounter_factory factory(cfg);
+    incounter_factory factory(cfg, &pools);
     scheduler sched(scheduler_config{workers});
-    dag_engine engine(factory, sched);
+    dag_engine engine(factory, sched, {.pools = &pools});
 
     auto once = [&] {
       auto [root, final_v] = engine.make();
@@ -81,17 +82,17 @@ int main(int argc, char** argv) {
   const auto common = harness::read_common(opts, /*default_n=*/1 << 17);
 
   // Allocation-batching extremes plus the default.
-  const std::vector<std::size_t> chunk_sizes{256, 1 << 13, 1 << 16};
+  const std::vector<std::size_t> block_sizes{1 << 12, 1 << 16, 1 << 20};
 
-  for (std::size_t chunk : chunk_sizes) {
+  for (std::size_t block : block_sizes) {
     for (std::size_t p : harness::worker_sweep(common.max_proc, /*points=*/4)) {
-      register_config(chunk, p, common.n, common.runs);
+      register_config(block, p, common.n, common.runs);
     }
   }
 
   std::printf("# fig13 (substituted): allocation-policy ablation for the NUMA "
               "study; expect no significant throughput difference across "
-              "chunk sizes (paper: no significant NUMA effect)\n");
+              "slab block sizes (paper: no significant NUMA effect)\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -20,8 +20,9 @@ namespace spdag {
 class fixed_snzi_counter final : public dep_counter {
  public:
   explicit fixed_snzi_counter(int depth, std::uint32_t initial = 0,
-                              snzi::tree_stats* stats = nullptr)
-      : tree_(depth, 0, stats) {
+                              snzi::tree_stats* stats = nullptr,
+                              object_pool* pairs = nullptr)
+      : tree_(depth, 0, stats, pairs) {
     reset_surplus(initial);
   }
 

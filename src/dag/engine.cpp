@@ -20,50 +20,68 @@ dag_engine::dag_engine(counter_factory& factory, executor& exec,
     : factory_(factory),
       outsets_(options.outsets != nullptr ? options.outsets
                                           : &default_outset_factory()),
+      pools_(options.pools != nullptr ? options.pools
+                                      : &default_pool_registry()),
       exec_(exec),
-      options_(options) {
+      options_(options),
+      vertex_pool_(&pools_->get("vertex", sizeof(vertex), alignof(vertex))),
+      pair_pool_(&pools_->get("dec_pair", sizeof(dec_pair), alignof(dec_pair))) {
   // Counters from one factory are homogeneous; probe once.
   dep_counter* probe = factory_.acquire(0);
   uses_tokens_ = probe->uses_tokens();
   factory_.release(probe);
 }
 
-dag_engine::~dag_engine() = default;
+dag_engine::~dag_engine() {
+  // Teardown contract: the engine must be quiescent. Vertices are pool
+  // cells destroyed by recycle(); a vertex still live here would leak
+  // whatever its body captured (the pool reclaims raw storage only). Every
+  // scheduler's run() drains to quiescence before returning, so this only
+  // trips on direct engine misuse (make()/spawn() without executing).
+  assert(live_vertices() == 0 &&
+         "dag_engine destroyed with live vertices; their bodies leak");
+}
+
+object_pool& dag_engine::state_pool(std::size_t bytes, std::size_t align) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(bytes) << 16) | static_cast<std::uint64_t>(align);
+  for (auto& e : state_pools_) {
+    if (e.key.load(std::memory_order_acquire) == key) {
+      return *e.pool.load(std::memory_order_relaxed);
+    }
+  }
+  object_pool& p = pools_->get("future_state", bytes, align);
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  for (auto& e : state_pools_) {
+    const std::uint64_t k = e.key.load(std::memory_order_relaxed);
+    if (k == key) return p;  // a racer installed it first
+    if (k == 0) {
+      e.pool.store(&p, std::memory_order_relaxed);
+      e.key.store(key, std::memory_order_release);
+      return p;
+    }
+  }
+  // Memo full (more than state_pool_slots distinct geometries): serve from
+  // the registry each time — correct, just uncached.
+  return p;
+}
 
 vertex* dag_engine::alloc_vertex() {
-  vertex* v = vertex_pool_.pop();
-  if (v == nullptr) {
-    auto fresh = std::make_unique<vertex>();
-    v = fresh.get();
-    std::lock_guard<std::mutex> lock(all_mu_);
-    all_vertices_.push_back(std::move(fresh));
-  }
   stats_.vertices_created.fetch_add(1, std::memory_order_relaxed);
-  return v;
+  return pool_new<vertex>(*vertex_pool_);
 }
 
 void dag_engine::recycle(vertex* v) {
-  v->body.reset();
   if (v->counter != nullptr) {
     factory_.release(v->counter);
     v->counter = nullptr;
   }
-  v->fin = nullptr;
-  v->inc = 0;
-  v->dpair = nullptr;
-  v->dead = false;
   stats_.vertices_recycled.fetch_add(1, std::memory_order_relaxed);
-  vertex_pool_.push(v);
+  pool_delete(*vertex_pool_, v);
 }
 
 dec_pair* dag_engine::alloc_pair(token t0, token t1, std::uint32_t owners) {
-  dec_pair* p = pair_pool_.pop();
-  if (p == nullptr) {
-    auto fresh = std::make_unique<dec_pair>();
-    p = fresh.get();
-    std::lock_guard<std::mutex> lock(all_mu_);
-    all_pairs_.push_back(std::move(fresh));
-  }
+  dec_pair* p = pool_new<dec_pair>(*pair_pool_);
   p->reset(t0, t1, owners);
   stats_.pairs_created.fetch_add(1, std::memory_order_relaxed);
   return p;
@@ -72,7 +90,7 @@ dec_pair* dag_engine::alloc_pair(token t0, token t1, std::uint32_t owners) {
 void dag_engine::release_pair_ref(dec_pair* p) {
   if (p->owners.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     stats_.pairs_recycled.fetch_add(1, std::memory_order_relaxed);
-    pair_pool_.push(p);
+    pool_delete(*pair_pool_, p);
   }
 }
 

@@ -1,22 +1,22 @@
 #pragma once
 // dag_engine: the sp-dag data structure (paper Figure 3).
 //
-// Owns vertex and dec-pair pools and implements make / chain / spawn /
-// signal on top of a pluggable dependency counter. Scheduling is delegated
-// through the `executor` interface: the engine pushes a vertex to the
-// executor exactly once, at the moment its dependency counter reaches zero
-// (readiness detection via the depart return value, paper section 5).
+// Implements make / chain / spawn / signal on top of a pluggable dependency
+// counter. Scheduling is delegated through the `executor` interface: the
+// engine pushes a vertex to the executor exactly once, at the moment its
+// dependency counter reaches zero (readiness detection via the depart
+// return value, paper section 5). Vertices and dec-pairs are drawn from the
+// engine's pool registry (src/mem/), so the spawn path's bookkeeping never
+// hits malloc in steady state.
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <utility>
-#include <vector>
 
 #include "dag/vertex.hpp"
 #include "incounter/factory.hpp"
-#include "util/treiber_stack.hpp"
+#include "mem/registry.hpp"
 
 namespace spdag {
 
@@ -64,6 +64,11 @@ struct dag_engine_options {
   // broadcast structures) from; borrowed, must outlive the engine. Null
   // means the process-wide default simple-out-set factory.
   outset_factory* outsets = nullptr;
+
+  // Registry the engine's vertex/dec-pair pools (and the future states made
+  // under it) come from; borrowed, must outlive the engine. Null means the
+  // process-wide default slab registry.
+  pool_registry* pools = nullptr;
 };
 
 class dag_engine {
@@ -71,6 +76,8 @@ class dag_engine {
   // The engine borrows the factory and executor; both must outlive it.
   dag_engine(counter_factory& factory, executor& exec,
              dag_engine_options options = {});
+  // Requires quiescence (live_vertices() == 0, asserted): un-executed
+  // vertices are pool cells whose body captures would otherwise leak.
   ~dag_engine();
 
   dag_engine(const dag_engine&) = delete;
@@ -114,13 +121,24 @@ class dag_engine {
   // --- plumbing ---
   counter_factory& factory() noexcept { return factory_; }
   outset_factory& outsets() noexcept { return *outsets_; }
+  pool_registry& pools() noexcept { return *pools_; }
+
+  // The "future_state" pool for one state geometry, memoized so the
+  // fork2_future hot path is two uncontended loads instead of the
+  // registry's mutexed string lookup per future creation.
+  object_pool& state_pool(std::size_t bytes, std::size_t align);
   executor& exec() noexcept { return exec_; }
   engine_stats& stats() noexcept { return stats_; }
   bool uses_tokens() const noexcept { return uses_tokens_; }
 
-  // Pool sizes (tests).
-  std::size_t pooled_vertices() const noexcept { return vertex_pool_.size_slow(); }
-  std::size_t pooled_pairs() const noexcept { return pair_pool_.size_slow(); }
+  // Free cells cached for reuse in the backing pools (tests). Registry-wide:
+  // engines sharing one registry see each other's cached cells.
+  std::size_t pooled_vertices() const noexcept {
+    return vertex_pool_->stats().cached();
+  }
+  std::size_t pooled_pairs() const noexcept {
+    return pair_pool_->stats().cached();
+  }
   std::size_t live_vertices() const noexcept {
     return stats_.vertices_created.load(std::memory_order_relaxed) -
            stats_.vertices_recycled.load(std::memory_order_relaxed);
@@ -139,16 +157,25 @@ class dag_engine {
 
   counter_factory& factory_;
   outset_factory* outsets_;
+  pool_registry* pools_;
   executor& exec_;
   dag_engine_options options_;
   bool uses_tokens_;
   engine_stats stats_;
 
-  treiber_stack<vertex> vertex_pool_;
-  treiber_stack<dec_pair> pair_pool_;
-  std::mutex all_mu_;
-  std::vector<std::unique_ptr<vertex>> all_vertices_;
-  std::vector<std::unique_ptr<dec_pair>> all_pairs_;
+  object_pool* vertex_pool_;
+  object_pool* pair_pool_;
+
+  // Append-only memo of state_pool() lookups: readers scan lock-free (key
+  // acquire-load pairs with the installer's release-store, which follows
+  // the pool store); installs take memo_mu_ (cold, once per geometry).
+  struct state_pool_memo {
+    std::atomic<std::uint64_t> key{0};  // bytes<<16 | align; 0 = empty
+    std::atomic<object_pool*> pool{nullptr};
+  };
+  static constexpr std::size_t state_pool_slots = 8;
+  state_pool_memo state_pools_[state_pool_slots];
+  std::mutex memo_mu_;
 };
 
 // --- nested-parallelism sugar (usable inside vertex bodies) ---

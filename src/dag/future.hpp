@@ -24,14 +24,22 @@
 // returns false exactly when finalize already ran, in which case the
 // registrant schedules its own consumer. Which implementation a future uses
 // comes from its engine's outset factory (runtime_config::outset, specs
-// "outset:simple" | "outset:tree[:fanout]").
+// "outset:simple" | "outset:tree[:fanout[:threshold]]").
+//
+// Allocation: a future_state is one cell from the engine's pool registry
+// ("future_state" pool, one per value-type size), reference-counted
+// intrusively — fork2_future's hot path performs zero malloc/free under
+// `alloc:pool` once the slabs are warm. Copying a future is cheap and
+// shares the state (an atomic increment, shared_ptr semantics without the
+// separate control block); the last copy to die destroys the state and
+// hands the cell back to its pool.
 
 #include <atomic>
 #include <cassert>
-#include <memory>
 #include <utility>
 
 #include "dag/engine.hpp"
+#include "mem/registry.hpp"
 #include "outset/factory.hpp"
 
 namespace spdag {
@@ -41,8 +49,8 @@ namespace detail {
 template <typename T>
 class future_state {
  public:
-  explicit future_state(outset_factory& outsets)
-      : outsets_(&outsets), waiters_(outsets.acquire()) {}
+  future_state(outset_factory& outsets, object_pool& home)
+      : outsets_(&outsets), waiters_(outsets.acquire()), home_(&home) {}
 
   ~future_state() {
     // release() scrubs registrations left behind by programs that abandoned
@@ -92,6 +100,14 @@ class future_state {
     }
   }
 
+  // --- intrusive reference count (managed by future<T>) ---
+  void add_ref() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
+  // True when the caller dropped the last reference and must destroy.
+  bool drop_ref() noexcept {
+    return refs_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+  object_pool& home() noexcept { return *home_; }
+
  private:
   static void deliver(void* ctx, outset_waiter* w) {
     auto* self = static_cast<future_state*>(ctx);
@@ -104,22 +120,52 @@ class future_state {
 
   outset_factory* outsets_;
   outset* waiters_;
+  object_pool* home_;  // the pool cell this state occupies
   dag_engine* completion_engine_ = nullptr;
+  std::atomic<std::uint32_t> refs_{1};
   std::atomic<bool> ready_{false};
   alignas(T) unsigned char storage_[sizeof(T)];
 };
 
 }  // namespace detail
 
-// Lifetime: a future's state borrows its out-set (and the factory that
-// pools it) from the engine it was made under, so every copy of a future
-// must be dropped before its runtime is destroyed — which structured usage
+// A handle to one pooled future_state. Copies SHARE the state (intrusive
+// refcount): passing a future by value into vertex bodies — what fork2_future
+// and future_then do — is an atomic increment, and the last copy to die
+// returns the state's cell to its pool. There is no separate share() call;
+// copy IS share, as with the shared_ptr this replaces.
+//
+// Lifetime: a future's state borrows its out-set factory AND its pool cell
+// from the engine it was made under, so every copy of a future must be
+// dropped before its runtime is destroyed — which structured usage
 // guarantees, since consumers are gated under the enclosing finish. Only
-// futures made outside any engine (default factory) may outlive runtimes.
+// futures made outside any engine (default factory + default registry) may
+// outlive runtimes.
 template <typename T>
 class future {
  public:
   future() = default;
+
+  future(const future& o) noexcept : state_(o.state_) {
+    if (state_ != nullptr) state_->add_ref();
+  }
+  future(future&& o) noexcept : state_(o.state_) { o.state_ = nullptr; }
+  future& operator=(const future& o) noexcept {
+    detail::future_state<T>* s = o.state_;  // read first: o may alias *this
+    if (s != nullptr) s->add_ref();
+    release();
+    state_ = s;
+    return *this;
+  }
+  future& operator=(future&& o) noexcept {
+    if (this != &o) {
+      release();
+      state_ = o.state_;
+      o.state_ = nullptr;
+    }
+    return *this;
+  }
+  ~future() { release(); }
 
   bool valid() const noexcept { return state_ != nullptr; }
   bool ready() const noexcept { return state_ != nullptr && state_->ready(); }
@@ -130,17 +176,25 @@ class future {
     return state_->value();
   }
 
-  // A fresh future backed by the current engine's out-set factory, or by the
-  // process-wide default (a simple out-set) outside of any engine.
+  // A fresh future backed by the current engine's out-set factory and pool
+  // registry (the state-pool lookup is memoized on the engine — no registry
+  // lock on the fork2_future hot path), or by the process-wide defaults
+  // outside of any engine.
   static future make() {
     dag_engine* eng = dag_engine::current_engine();
-    return make(eng != nullptr ? eng->outsets() : default_outset_factory());
+    if (eng != nullptr) {
+      return make_in(eng->outsets(), eng->state_pool(state_bytes, state_align));
+    }
+    return make(default_outset_factory());
   }
 
+  // A fresh future on an explicit factory: its whole footprint (state cell
+  // + out-set nodes + waiter records) comes from THAT factory's registry,
+  // even when called inside an engine — so a future built on a long-lived
+  // factory may outlive the current runtime.
   static future make(outset_factory& outsets) {
-    future f;
-    f.state_ = std::make_shared<detail::future_state<T>>(outsets);
-    return f;
+    return make_in(outsets, outsets.pools().get("future_state", state_bytes,
+                                                state_align));
   }
 
   void complete(T v, dag_engine* engine) const {
@@ -151,7 +205,24 @@ class future {
   }
 
  private:
-  std::shared_ptr<detail::future_state<T>> state_;
+  static constexpr std::size_t state_bytes = sizeof(detail::future_state<T>);
+  static constexpr std::size_t state_align = alignof(detail::future_state<T>);
+
+  static future make_in(outset_factory& outsets, object_pool& home) {
+    future f;
+    f.state_ = pool_new<detail::future_state<T>>(home, outsets, home);
+    return f;
+  }
+
+  void release() noexcept {
+    if (state_ != nullptr && state_->drop_ref()) {
+      object_pool& home = state_->home();
+      pool_delete(home, state_);
+    }
+    state_ = nullptr;
+  }
+
+  detail::future_state<T>* state_ = nullptr;
 };
 
 // Parallel composition with a value. Left child: computes producer() and

@@ -20,7 +20,7 @@ namespace spdag {
 
 // Decrement-handle pair shared by the two vertices a spawn creates.
 // `owners` counts vertices that may still claim from this pair; the claimer
-// that drops it to zero recycles the pair.
+// that drops it to zero returns the pair to its slab pool.
 struct dec_pair {
   token t[2] = {0, 0};
   // Slot taken by the first claimer, -1 while unclaimed. The default policy
@@ -28,7 +28,6 @@ struct dec_pair {
   // randomizes the first claimer's choice.
   std::atomic<std::int8_t> first_slot{-1};
   std::atomic<std::uint32_t> owners{0};
-  std::atomic<dec_pair*> pool_next{nullptr};
 
   void reset(token t0, token t1, std::uint32_t owner_count) noexcept {
     t[0] = t0;
@@ -68,8 +67,6 @@ class vertex {
   // Set by chain/spawn: the vertex transferred its obligation and must not
   // signal when its body returns.
   bool dead = false;
-
-  std::atomic<vertex*> pool_next{nullptr};
 };
 
 }  // namespace spdag

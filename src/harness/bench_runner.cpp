@@ -11,8 +11,10 @@
 namespace spdag::harness {
 
 bench_result run_config(const bench_config& cfg) {
-  runtime rt(runtime_config{cfg.workers, cfg.algo, /*pin_threads=*/false,
-                            /*snzi_stats=*/nullptr});
+  runtime_config rt_cfg{cfg.workers, cfg.algo, /*pin_threads=*/false,
+                        /*snzi_stats=*/nullptr};
+  rt_cfg.alloc = cfg.alloc;
+  runtime rt(rt_cfg);
   auto once = [&] {
     if (cfg.workload == "fanin") {
       fanin(rt, cfg.n, cfg.work_ns);
@@ -20,6 +22,8 @@ bench_result run_config(const bench_config& cfg) {
       indegree2(rt, cfg.n, cfg.work_ns);
     } else if (cfg.workload == "fib") {
       fib(rt, static_cast<unsigned>(cfg.n));
+    } else if (cfg.workload == "churn") {
+      future_churn(rt, cfg.n, cfg.work_ns);
     } else {
       throw std::invalid_argument("unknown workload: " + cfg.workload);
     }
@@ -29,6 +33,7 @@ bench_result run_config(const bench_config& cfg) {
   // measured runs see steady state (the paper's artifact averages 30 runs
   // for the same reason).
   once();
+  const std::uint64_t warm_growths = rt.pools().totals().slab_growths;
 
   run_stats stats;
   for (int r = 0; r < cfg.repetitions; ++r) {
@@ -43,10 +48,25 @@ bench_result run_config(const bench_config& cfg) {
   res.min_s = stats.min();
   res.max_s = stats.max();
   res.rsd = stats.rsd();
-  const double ops = static_cast<double>(counter_ops(cfg.n));
+  const double ops = static_cast<double>(
+      cfg.workload == "churn" ? churn_futures(cfg.n) : counter_ops(cfg.n));
   res.ops_per_s = res.mean_s > 0 ? ops / res.mean_s : 0;
   res.ops_per_s_per_core = res.ops_per_s / static_cast<double>(cfg.workers);
+  res.pools = rt.pools().rows();
+  res.measured_slab_growths =
+      rt.pools().totals().slab_growths - warm_growths;
   return res;
+}
+
+void print_pool_stats(std::ostream& os,
+                      const std::vector<pool_registry_row>& rows) {
+  for (const auto& row : rows) {
+    os << "# pool " << row.name << ": allocs=" << row.stats.allocs
+       << " recycles=" << row.stats.recycles
+       << " slab_growths=" << row.stats.slab_growths
+       << " remote_frees=" << row.stats.remote_frees
+       << " live=" << row.stats.live() << "\n";
+  }
 }
 
 std::vector<std::size_t> worker_sweep(std::size_t max_workers, std::size_t points) {

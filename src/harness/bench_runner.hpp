@@ -7,21 +7,24 @@
 // environment-scalable via SPDAG_RUNS).
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "mem/registry.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 
 namespace spdag::harness {
 
 struct bench_config {
-  std::string workload = "fanin";  // "fanin" | "indegree2" | "fib"
+  std::string workload = "fanin";  // "fanin" | "indegree2" | "fib" | "churn"
   std::string algo = "dyn";        // counter spec (see make_counter_factory)
   std::size_t workers = 1;
   std::uint64_t n = 1 << 20;       // leaf count (or fib argument)
   std::uint64_t work_ns = 0;       // per-leaf dummy work
   int repetitions = 3;
+  std::string alloc = "pool";      // alloc spec (see make_pool_registry)
 };
 
 struct bench_result {
@@ -32,10 +35,19 @@ struct bench_result {
   double rsd = 0;           // relative stddev across repetitions
   double ops_per_s = 0;     // counter ops / mean seconds
   double ops_per_s_per_core = 0;
+  // Per-pool allocation stats snapshotted after the measured runs, plus the
+  // warm-to-end upstream-allocation delta: zero means the measured runs
+  // never touched malloc (the `alloc:pool` steady-state claim).
+  std::vector<pool_registry_row> pools;
+  std::uint64_t measured_slab_growths = 0;
 };
 
 // Runs one configuration to completion and returns the aggregate.
 bench_result run_config(const bench_config& cfg);
+
+// One line per pool: allocs / recycles / slab growths / cross-worker frees.
+void print_pool_stats(std::ostream& os,
+                      const std::vector<pool_registry_row>& rows);
 
 // Standard sweep values -----------------------------------------------------
 

@@ -44,6 +44,27 @@ void fanout_rec(future<std::uint64_t> f, std::atomic<std::uint64_t>* sum,
   }
 }
 
+void churn_rec(std::atomic<std::uint64_t>* sum, std::uint64_t k,
+               std::uint64_t work_ns) {
+  if (k >= 2) {
+    fork2([sum, k, work_ns] { churn_rec(sum, k / 2, work_ns); },
+          [sum, k, work_ns] { churn_rec(sum, k - k / 2, work_ns); });
+  } else if (k == 1) {
+    // One full future lifecycle per leaf: make + complete + one
+    // registration + destroy, nothing shared across leaves.
+    fork2_future<std::uint64_t>(
+        [work_ns] {
+          if (work_ns != 0) spin_ns(work_ns);
+          return std::uint64_t{1};
+        },
+        [sum](future<std::uint64_t> f) {
+          future_then(f, [sum](std::uint64_t v) {
+            sum->fetch_add(v, std::memory_order_relaxed);
+          });
+        });
+  }
+}
+
 void fib_rec(unsigned n, std::uint64_t* dest) {
   if (n <= 1) {
     *dest = n;
@@ -93,6 +114,15 @@ std::uint64_t fanout(runtime& rt, std::uint64_t consumers,
   return sum.load();
 }
 
+std::uint64_t future_churn(runtime& rt, std::uint64_t n,
+                           std::uint64_t work_ns) {
+  if (work_ns != 0) spin_units_per_ns();
+  std::atomic<std::uint64_t> sum{0};
+  auto* s = &sum;
+  rt.run([s, n, work_ns] { churn_rec(s, n, work_ns); });
+  return sum.load();
+}
+
 std::uint64_t fib(runtime& rt, unsigned n) {
   std::uint64_t result = 0;
   std::uint64_t* dest = &result;
@@ -110,6 +140,11 @@ std::uint64_t counter_ops(std::uint64_t n) {
 std::uint64_t outset_ops(std::uint64_t n) {
   // One registration plus one delivery per consumer.
   return 2 * n;
+}
+
+std::uint64_t churn_futures(std::uint64_t n) {
+  // One future lifecycle per leaf.
+  return n;
 }
 
 }  // namespace spdag::harness

@@ -35,6 +35,17 @@ void indegree2(runtime& rt, std::uint64_t n, std::uint64_t work_ns = 0);
 std::uint64_t fanout(runtime& rt, std::uint64_t consumers,
                      std::uint64_t work_ns = 0, std::uint64_t producer_ns = 0);
 
+// future_churn(n): n INDEPENDENT futures, each created, completed and
+// destroyed by its own producer/consumer pair — the allocation worst case
+// for the future machinery (one future_state + out-set + waiter record +
+// four vertices per iteration), the future-side analogue of indegree2's
+// counter churn. Under `alloc:malloc` every iteration hits the heap; under
+// `alloc:pool` the slab pools absorb the storm after warm-up. Returns the
+// sum of delivered values (== n) so callers can assert exactly-once
+// delivery.
+std::uint64_t future_churn(runtime& rt, std::uint64_t n,
+                           std::uint64_t work_ns = 0);
+
 // Parallel Fibonacci on the sp-dag (the paper's running example, Figure 4).
 // Exponential work; use small n. Returns fib(n).
 std::uint64_t fib(runtime& rt, unsigned n);
@@ -46,5 +57,9 @@ std::uint64_t counter_ops(std::uint64_t n);
 // The number of out-set operations (registrations + deliveries) a fanout
 // workload of n consumers performs.
 std::uint64_t outset_ops(std::uint64_t n);
+
+// The number of futures a future_churn workload of n iterations cycles
+// through (create + complete + destroy); used for throughput reporting.
+std::uint64_t churn_futures(std::uint64_t n);
 
 }  // namespace spdag::harness

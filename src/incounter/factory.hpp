@@ -15,6 +15,7 @@
 
 #include "counter/dep_counter.hpp"
 #include "incounter/incounter.hpp"
+#include "mem/registry.hpp"
 #include "util/treiber_stack.hpp"
 
 namespace spdag {
@@ -62,8 +63,16 @@ class faa_factory final : public counter_factory {
 
 class fixed_snzi_factory final : public counter_factory {
  public:
-  explicit fixed_snzi_factory(int depth, snzi::tree_stats* stats = nullptr)
-      : depth_(depth), stats_(stats) {}
+  // `pools` supplies child pairs (null = default registry); the pool is
+  // resolved once here, so create() never takes the registry lock. Counters
+  // from one factory share it: pooled counters recycled at different times
+  // draw from one set of slabs.
+  explicit fixed_snzi_factory(int depth, snzi::tree_stats* stats = nullptr,
+                              pool_registry* pools = nullptr)
+      : depth_(depth),
+        stats_(stats),
+        pair_pool_(&snzi::child_pair_pool(
+            pools != nullptr ? *pools : default_pool_registry())) {}
   std::string name() const override { return "snzi:" + std::to_string(depth_); }
   std::string display_name() const override {
     return "SNZI depth=" + std::to_string(depth_);
@@ -76,11 +85,17 @@ class fixed_snzi_factory final : public counter_factory {
  private:
   int depth_;
   snzi::tree_stats* stats_;
+  object_pool* pair_pool_;
 };
 
 class incounter_factory final : public counter_factory {
  public:
-  explicit incounter_factory(incounter_config cfg = {}) : cfg_(cfg) {}
+  // See fixed_snzi_factory on `pools` / pair-pool sharing.
+  explicit incounter_factory(incounter_config cfg = {},
+                             pool_registry* pools = nullptr)
+      : cfg_(cfg),
+        pair_pool_(&snzi::child_pair_pool(
+            pools != nullptr ? *pools : default_pool_registry())) {}
   std::string name() const override {
     return "dyn:" + std::to_string(cfg_.grow_threshold) +
            (cfg_.reclaim ? "" : ":noreclaim");
@@ -93,6 +108,7 @@ class incounter_factory final : public counter_factory {
 
  private:
   incounter_config cfg_;
+  object_pool* pair_pool_;
 };
 
 class locked_factory final : public counter_factory {
@@ -114,10 +130,13 @@ class locked_factory final : public counter_factory {
 //                                 order, which voids Lemma 4.6's safety)
 //   "locked"                      mutex oracle (tests only)
 // Throws std::invalid_argument on anything else.
-// (The fan-out dual — "outset:simple" / "outset:tree[:fanout]" specs for
-// future waiter broadcast — is parsed by make_outset_factory in
-// src/outset/factory.hpp.)
+// (The fan-out dual — "outset:simple" / "outset:tree[:fanout[:threshold]]"
+// specs for future waiter broadcast — is parsed by make_outset_factory in
+// src/outset/factory.hpp; the allocation layer both draw from is selected
+// by make_pool_registry in src/mem/registry.hpp.)
+// `pools` is the registry SNZI child pairs are drawn from (null = default).
 std::unique_ptr<counter_factory> make_counter_factory(
-    const std::string& spec, snzi::tree_stats* stats = nullptr);
+    const std::string& spec, snzi::tree_stats* stats = nullptr,
+    pool_registry* pools = nullptr);
 
 }  // namespace spdag

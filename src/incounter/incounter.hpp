@@ -32,7 +32,8 @@ struct incounter_config {
   // discipline must set reclaim = false.
   bool reclaim = true;
   snzi::tree_stats* stats = nullptr;
-  std::size_t arena_chunk_bytes = 1 << 13;
+  // Child-pair slab pool (null = the default registry's snzi_pair pool).
+  object_pool* pair_pool = nullptr;
 };
 
 class incounter final : public dep_counter {
@@ -40,7 +41,7 @@ class incounter final : public dep_counter {
   explicit incounter(std::uint32_t initial = 0, incounter_config cfg = {})
       : tree_(initial,
               snzi::tree_config{cfg.grow_threshold, cfg.reclaim, cfg.stats,
-                                cfg.arena_chunk_bytes}) {}
+                                cfg.pair_pool}) {}
 
   arrive_result arrive(token inc_hint, bool from_left) override {
     auto* h = reinterpret_cast<snzi::node*>(inc_hint);

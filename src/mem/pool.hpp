@@ -1,0 +1,116 @@
+#pragma once
+// object_pool: the hot-path allocation interface every runtime bookkeeping
+// structure draws from (vertices, dec-pairs, future states, SNZI child
+// pairs, out-set node groups, waiter records).
+//
+// The paper's O(1)-amortized-contention argument for the in-counter assumes
+// the runtime's own bookkeeping is cheap; on churn-heavy dags (one future or
+// finish block per iteration, millions of iterations) malloc — not the
+// counter — becomes the scalability ceiling. An object_pool is a fixed-cell
+// allocator for exactly one object geometry (size, alignment), selected per
+// process through a pool_registry (src/mem/registry.hpp) so benchmarks can
+// sweep `alloc:malloc` against `alloc:pool` and watch malloc leave the
+// profile.
+//
+// Implementations:
+//   * malloc_pool  (src/mem/malloc_pool.hpp) — passthrough to operator new;
+//     the ablation baseline. Every allocation is an upstream trip.
+//   * slab_cache   (src/mem/slab_pool.hpp) — per-worker magazine caches over
+//     block-allocated slabs with a lock-free global recycle list; in steady
+//     state neither allocate nor deallocate touches the upstream allocator.
+//
+// The pool hands out raw storage; construction/destruction is the caller's
+// (use pool_new / pool_delete below). Storage for every cell lives until the
+// pool is destroyed, so a deallocated-then-recycled cell is never unmapped
+// under a racing reader — the same stability guarantee the old per-structure
+// arenas gave the SNZI and out-set trees.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace spdag {
+
+// Relaxed per-pool instrumentation. Counters are monotone over the pool's
+// lifetime; under concurrency a snapshot may be a few operations skewed
+// between fields (each field is internally consistent).
+struct pool_stats {
+  std::uint64_t allocs = 0;         // allocate() calls
+  std::uint64_t frees = 0;          // deallocate() calls
+  std::uint64_t recycles = 0;       // allocs served from recycled storage
+  std::uint64_t remote_frees = 0;   // frees by a different worker than the
+                                    // cell's last allocator (cross-worker)
+  std::uint64_t carved = 0;         // cells carved fresh from slabs
+  std::uint64_t slab_growths = 0;   // trips to the upstream allocator
+  std::uint64_t magazine_refills = 0;
+  std::uint64_t magazine_flushes = 0;
+
+  // Cells currently handed out (approximate under concurrency).
+  std::uint64_t live() const noexcept {
+    return allocs >= frees ? allocs - frees : 0;
+  }
+  // Cells carved but not currently live: cached in magazines, the global
+  // recycle list, or structure-local free lists built on top of the pool.
+  std::uint64_t cached() const noexcept {
+    return carved >= live() ? carved - live() : 0;
+  }
+
+  pool_stats& operator+=(const pool_stats& o) noexcept {
+    allocs += o.allocs;
+    frees += o.frees;
+    recycles += o.recycles;
+    remote_frees += o.remote_frees;
+    carved += o.carved;
+    slab_growths += o.slab_growths;
+    magazine_refills += o.magazine_refills;
+    magazine_flushes += o.magazine_flushes;
+    return *this;
+  }
+};
+
+class object_pool {
+ public:
+  object_pool(std::string name, std::size_t object_bytes,
+              std::size_t object_align)
+      : name_(std::move(name)),
+        object_bytes_(object_bytes),
+        object_align_(object_align) {}
+
+  virtual ~object_pool() = default;
+  object_pool(const object_pool&) = delete;
+  object_pool& operator=(const object_pool&) = delete;
+
+  // Raw storage of the pool's cell geometry. Never null (throws bad_alloc).
+  virtual void* allocate() = 0;
+
+  // Returns a cell obtained from allocate(). The object must already be
+  // destroyed; the storage may be handed to another worker immediately.
+  virtual void deallocate(void* p) noexcept = 0;
+
+  virtual pool_stats stats() const = 0;
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t object_bytes() const noexcept { return object_bytes_; }
+  std::size_t object_align() const noexcept { return object_align_; }
+
+ private:
+  std::string name_;
+  std::size_t object_bytes_;
+  std::size_t object_align_;
+};
+
+// Typed construct/destroy sugar over the untyped cell interface.
+template <typename T, typename... Args>
+T* pool_new(object_pool& pool, Args&&... args) {
+  void* p = pool.allocate();
+  return ::new (p) T(std::forward<Args>(args)...);
+}
+
+template <typename T>
+void pool_delete(object_pool& pool, T* obj) noexcept {
+  obj->~T();
+  pool.deallocate(obj);
+}
+
+}  // namespace spdag

@@ -1,0 +1,96 @@
+#include "mem/registry.hpp"
+
+#include <stdexcept>
+
+#include "mem/malloc_pool.hpp"
+#include "mem/slab_pool.hpp"
+
+namespace spdag {
+
+object_pool& pool_registry::get(const std::string& name, std::size_t bytes,
+                                std::size_t align) {
+  // Alignment is part of the identity: a same-named, same-sized caller with
+  // a stricter alignment must NOT receive under-aligned cells — and the
+  // composed name must distinguish the two pools in stats rows.
+  const std::string key =
+      name + ":" + std::to_string(bytes) + ":a" + std::to_string(align);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& p : pools_) {
+    if (p->name() == key) return *p;
+  }
+  pools_.push_back(create(key, bytes, align));
+  return *pools_.back();
+}
+
+std::vector<pool_registry_row> pool_registry::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<pool_registry_row> out;
+  out.reserve(pools_.size());
+  for (const auto& p : pools_) {
+    out.push_back({p->name(), p->object_bytes(), p->stats()});
+  }
+  return out;
+}
+
+pool_stats pool_registry::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_stats t;
+  for (const auto& p : pools_) t += p->stats();
+  return t;
+}
+
+std::unique_ptr<object_pool> malloc_pool_registry::create(std::string name,
+                                                          std::size_t bytes,
+                                                          std::size_t align) {
+  return std::make_unique<malloc_pool>(std::move(name), bytes, align);
+}
+
+std::string slab_pool_registry::spec() const {
+  return slab_bytes_ == 0 ? "pool" : "pool:" + std::to_string(slab_bytes_);
+}
+
+std::unique_ptr<object_pool> slab_pool_registry::create(std::string name,
+                                                        std::size_t bytes,
+                                                        std::size_t align) {
+  return std::make_unique<slab_cache>(
+      std::move(name), bytes, align,
+      slab_bytes_ == 0 ? slab_cache::default_slab_bytes : slab_bytes_);
+}
+
+std::unique_ptr<pool_registry> make_pool_registry(const std::string& spec) {
+  std::string s = spec;
+  if (s.rfind("alloc:", 0) == 0) s = s.substr(6);
+  if (s == "malloc") return std::make_unique<malloc_pool_registry>();
+  if (s == "pool") return std::make_unique<slab_pool_registry>();
+  if (s.rfind("pool:", 0) == 0) {
+    // Strict parse: the whole field must be digits, and any value stol
+    // could overflow on is already outside the rails below.
+    const std::string field = s.substr(5);
+    unsigned long long bytes = 0;
+    if (field.empty() ||
+        field.find_first_not_of("0123456789") != std::string::npos) {
+      bytes = 0;
+    } else {
+      try {
+        bytes = std::stoull(field);
+      } catch (const std::exception&) {
+        bytes = 0;
+      }
+    }
+    // Lower rail: a block must amortize its carve mutex trip over a useful
+    // batch. Upper rail: keep one pool's upstream unit below 16 MiB.
+    if (bytes < 4096 || bytes > (1ULL << 24)) {
+      throw std::invalid_argument("alloc pool block must be in [4096, 2^24]: " +
+                                  spec);
+    }
+    return std::make_unique<slab_pool_registry>(static_cast<std::size_t>(bytes));
+  }
+  throw std::invalid_argument("unknown alloc spec: " + spec);
+}
+
+pool_registry& default_pool_registry() {
+  static slab_pool_registry registry;
+  return registry;
+}
+
+}  // namespace spdag

@@ -1,0 +1,97 @@
+#pragma once
+// pool_registry: get-or-create directory of object_pools keyed by
+// (name, cell size), selected by spec string through runtime_config —
+// mirroring the in-counter/out-set factory pattern.
+//
+// Spec strings (accepted with or without the "alloc:" prefix):
+//   "malloc"          every pool is a malloc_pool passthrough (baseline)
+//   "pool"            slab pools with the default slab block size
+//   "pool:<bytes>"    slab pools with the given upstream block size
+//                     (bytes in [4096, 1<<24])
+// Throws std::invalid_argument on anything else.
+//
+// One registry per runtime: the runtime constructs it first and destroys it
+// last, so every structure above it (engine, counter factory, out-set
+// factory) can cache `object_pool&` references for its lifetime. A
+// process-wide default registry (slab pools) backs engines and futures
+// created outside any runtime.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/pool.hpp"
+
+namespace spdag {
+
+// One row of a registry stats snapshot.
+struct pool_registry_row {
+  std::string name;          // composed key, e.g. "future_state:48:a8"
+  std::size_t object_bytes;
+  pool_stats stats;
+};
+
+class pool_registry {
+ public:
+  virtual ~pool_registry() = default;
+
+  // Thread-safe get-or-create. Pools are keyed by name, cell size AND
+  // alignment, so one logical name used at several geometries
+  // (future_state<T> across Ts, out-set groups across fanouts) maps to one
+  // pool per geometry. The reference stays valid until the registry dies.
+  // Callers on hot paths should cache it (the lookup takes a mutex).
+  object_pool& get(const std::string& name, std::size_t bytes,
+                   std::size_t align);
+
+  // Snapshot of every pool, creation order.
+  std::vector<pool_registry_row> rows() const;
+
+  // All pools summed — the headline bench stat.
+  pool_stats totals() const;
+
+  // The spec string this registry was built from ("malloc", "pool", ...).
+  virtual std::string spec() const = 0;
+
+ protected:
+  virtual std::unique_ptr<object_pool> create(std::string name,
+                                              std::size_t bytes,
+                                              std::size_t align) = 0;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<object_pool>> pools_;
+};
+
+class malloc_pool_registry final : public pool_registry {
+ public:
+  std::string spec() const override { return "malloc"; }
+
+ protected:
+  std::unique_ptr<object_pool> create(std::string name, std::size_t bytes,
+                                      std::size_t align) override;
+};
+
+class slab_pool_registry final : public pool_registry {
+ public:
+  explicit slab_pool_registry(std::size_t slab_bytes = 0) noexcept
+      : slab_bytes_(slab_bytes) {}  // 0 = slab_cache's default
+  std::string spec() const override;
+
+ protected:
+  std::unique_ptr<object_pool> create(std::string name, std::size_t bytes,
+                                      std::size_t align) override;
+
+ private:
+  std::size_t slab_bytes_;
+};
+
+// Parses an alloc spec (see file comment).
+std::unique_ptr<pool_registry> make_pool_registry(const std::string& spec);
+
+// Process-wide slab registry used by engines, counters, and futures that
+// were not handed an explicit registry.
+pool_registry& default_pool_registry();
+
+}  // namespace spdag

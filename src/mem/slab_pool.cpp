@@ -1,0 +1,226 @@
+#include "mem/slab_pool.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+namespace spdag {
+
+namespace {
+
+// Tagged 48-bit pointer + 16-bit monotone tag (canonical user-space
+// addresses), the same ABA defense as util/treiber_stack.
+constexpr std::uint64_t ptr_mask = (1ULL << 48) - 1;
+
+std::uint64_t pack(void* p, std::uint64_t tag) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & ptr_mask) | (tag << 48);
+}
+void* ptr_of(std::uint64_t v) noexcept {
+  return reinterpret_cast<void*>(v & ptr_mask);
+}
+std::uint64_t tag_of(std::uint64_t v) noexcept { return v >> 48; }
+
+constexpr std::size_t round_up(std::size_t v, std::size_t a) noexcept {
+  return (v + a - 1) / a * a;
+}
+
+// Stamp encoding: 0 = never allocated; otherwise (slot + 2), where slot -1
+// is the magazine-less bypass path.
+std::uint64_t stamp_for(int slot) noexcept {
+  return static_cast<std::uint64_t>(slot + 2);
+}
+
+// Single-writer counter increment: magazine counters are only written by
+// the slot's owner, so a plain load+store (no locked RMW) is exact, and
+// being atomic keeps cross-thread stats() reads clean.
+void bump(std::atomic<std::uint64_t>& c) noexcept {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+slab_cache::slab_cache(std::string name, std::size_t object_bytes,
+                       std::size_t object_align, std::size_t slab_bytes)
+    : object_pool(std::move(name), object_bytes, object_align) {
+  if (object_bytes == 0) {
+    throw std::invalid_argument("slab_cache: zero object size");
+  }
+  std::size_t align = object_align < sizeof(void*) ? sizeof(void*) : object_align;
+  // Header: link at cell start, stamp in the 8 bytes before the object.
+  hdr_space_ = round_up(2 * sizeof(std::uint64_t), align);
+  stride_ = round_up(hdr_space_ + object_bytes, align);
+  slab_align_ = align < cache_line_size ? cache_line_size : align;
+  slab_bytes_ = round_up(slab_bytes < stride_ ? stride_ : slab_bytes, slab_align_);
+}
+
+slab_cache::~slab_cache() {
+  for (auto& slot : mags_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+  for (void* slab : slabs_) std::free(slab);
+}
+
+slab_cache::magazine& slab_cache::mag(int slot) {
+  magazine* m = mags_[slot].load(std::memory_order_acquire);
+  if (m == nullptr) {
+    m = new magazine();
+    mags_[slot].store(m, std::memory_order_release);
+  }
+  return *m;
+}
+
+// Restamps the cell for its new owner; true iff it had a previous life.
+bool slab_cache::restamp(void* p, int slot) noexcept {
+  auto* st = stamp_of(p);
+  const bool recycled = st->load(std::memory_order_relaxed) != 0;
+  st->store(stamp_for(slot), std::memory_order_relaxed);
+  return recycled;
+}
+
+void* slab_cache::allocate() {
+  const int slot = mem::thread_slot();
+  if (slot >= 0) {
+    magazine& m = mag(slot);
+    if (m.count == 0) refill(m);
+    void* p = m.items[--m.count];
+    bump(m.allocs);
+    if (restamp(p, slot)) bump(m.recycles);
+    return p;
+  }
+  // Over-subscribed thread: no magazine, straight to the shared layers.
+  void* p = pop_global();
+  if (p == nullptr) {
+    std::uint32_t got = 0;
+    carve(&p, 1, got);
+  }
+  g_allocs_.fetch_add(1, std::memory_order_relaxed);
+  if (restamp(p, slot)) g_recycles_.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void slab_cache::deallocate(void* p) noexcept {
+  const int slot = mem::thread_slot();
+  const bool remote =
+      stamp_of(p)->load(std::memory_order_relaxed) != stamp_for(slot);
+  // Peek, don't create: a free must never allocate (this function is
+  // noexcept), so a thread whose first contact with this pool is a
+  // cross-worker free pushes straight to the global list; its magazine is
+  // created by its first allocate().
+  magazine* m =
+      slot >= 0 ? mags_[slot].load(std::memory_order_acquire) : nullptr;
+  if (m != nullptr) {
+    bump(m->frees);
+    if (remote) bump(m->remote_frees);
+    if (m->count == magazine_cap) flush(*m);
+    m->items[m->count++] = p;
+    return;
+  }
+  g_frees_.fetch_add(1, std::memory_order_relaxed);
+  if (remote) g_remote_frees_.fetch_add(1, std::memory_order_relaxed);
+  push_global(p, p);
+}
+
+void slab_cache::refill(magazine& m) {
+  bump(m.refills);
+  while (m.count < batch) {
+    void* p = pop_global();
+    if (p == nullptr) break;
+    m.items[m.count++] = p;
+  }
+  if (m.count == 0) {
+    std::uint32_t got = 0;
+    carve(m.items, batch, got);
+    m.count = got;
+  }
+}
+
+void slab_cache::flush(magazine& m) noexcept {
+  bump(m.flushes);
+  // Hand the newest half back; link it into one chain, publish with one CAS.
+  const std::uint32_t keep = magazine_cap - batch;
+  void* first = m.items[m.count - 1];
+  void* last = m.items[keep];
+  for (std::uint32_t i = m.count - 1; i > keep; --i) {
+    link_of(m.items[i])->store(m.items[i - 1], std::memory_order_relaxed);
+  }
+  m.count = keep;
+  push_global(first, last);
+}
+
+void slab_cache::carve(void** out, std::uint32_t want, std::uint32_t& got) {
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  for (got = 0; got < want; ++got) {
+    if (cursor_ == nullptr ||
+        cursor_ + stride_ > slab_end_) {
+      if (got > 0) break;  // partial batch is fine once we have one cell
+      void* raw = std::aligned_alloc(slab_align_, slab_bytes_);
+      if (raw == nullptr) throw std::bad_alloc{};
+      slabs_.push_back(raw);
+      slab_growths_.fetch_add(1, std::memory_order_relaxed);
+      cursor_ = static_cast<char*>(raw);
+      slab_end_ = cursor_ + slab_bytes_;
+    }
+    void* obj = cursor_ + hdr_space_;
+    cursor_ += stride_;
+    ::new (link_of(obj)) std::atomic<void*>(nullptr);
+    ::new (stamp_of(obj)) std::atomic<std::uint64_t>(0);
+    out[got] = obj;
+  }
+  carved_.fetch_add(got, std::memory_order_relaxed);
+}
+
+void* slab_cache::pop_global() noexcept {
+  std::uint64_t head = global_head_.load(std::memory_order_acquire);
+  for (;;) {
+    void* top = ptr_of(head);
+    if (top == nullptr) return nullptr;
+    void* next = link_of(top)->load(std::memory_order_relaxed);
+    const std::uint64_t fresh = pack(next, tag_of(head) + 1);
+    if (global_head_.compare_exchange_weak(head, fresh,
+                                           std::memory_order_acquire,
+                                           std::memory_order_acquire)) {
+      return top;
+    }
+  }
+}
+
+void slab_cache::push_global(void* first, void* last) noexcept {
+  std::uint64_t head = global_head_.load(std::memory_order_acquire);
+  for (;;) {
+    link_of(last)->store(ptr_of(head), std::memory_order_relaxed);
+    const std::uint64_t fresh = pack(first, tag_of(head) + 1);
+    if (global_head_.compare_exchange_weak(head, fresh,
+                                           std::memory_order_release,
+                                           std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+pool_stats slab_cache::stats() const {
+  pool_stats s;
+  s.allocs = g_allocs_.load(std::memory_order_relaxed);
+  s.frees = g_frees_.load(std::memory_order_relaxed);
+  s.recycles = g_recycles_.load(std::memory_order_relaxed);
+  s.remote_frees = g_remote_frees_.load(std::memory_order_relaxed);
+  s.carved = carved_.load(std::memory_order_relaxed);
+  s.slab_growths = slab_growths_.load(std::memory_order_relaxed);
+  for (const auto& slot : mags_) {
+    const magazine* m = slot.load(std::memory_order_acquire);
+    if (m == nullptr) continue;
+    s.allocs += m->allocs.load(std::memory_order_relaxed);
+    s.frees += m->frees.load(std::memory_order_relaxed);
+    s.recycles += m->recycles.load(std::memory_order_relaxed);
+    s.remote_frees += m->remote_frees.load(std::memory_order_relaxed);
+    s.magazine_refills += m->refills.load(std::memory_order_relaxed);
+    s.magazine_flushes += m->flushes.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::size_t slab_cache::slab_count() const {
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  return slabs_.size();
+}
+
+}  // namespace spdag

@@ -1,0 +1,135 @@
+#pragma once
+// slab_cache / slab_pool<T>: the pooled hot-path allocator.
+//
+// Three layers, fastest first:
+//
+//   1. Per-worker magazines. Each thread (keyed by mem::thread_slot(), one
+//      live owner per slot) has a small cache of free cells inside the pool.
+//      Steady-state allocate/deallocate is an uncontended array push/pop on
+//      a line only the owner touches — zero CASes, zero malloc.
+//   2. A lock-free global recycle list (tagged-pointer Treiber stack, the
+//      same ABA defense as util/treiber_stack). Magazines refill from it in
+//      batches when empty and flush half their cells to it when full; it is
+//      what makes cross-worker frees cheap — consumer B freeing a future
+//      state worker A allocated just fills B's magazine, and the overflow
+//      migrates back through this list.
+//   3. Block-allocated slabs. Only when the global list is dry does a
+//      refill carve fresh cells from the current slab, growing a new slab
+//      from the upstream allocator when exhausted (the only path that ever
+//      calls aligned_alloc, counted in stats().slab_growths). Slabs are
+//      never returned until the pool dies, so recycled cells stay mapped —
+//      racing readers of a just-retired SNZI node or out-set node observe
+//      stale-but-valid memory, exactly as with the old per-structure arenas.
+//
+// Cell layout: every cell carries a small pool-private header *before* the
+// object — a free-list link (atomic, never aliased by object data, so the
+// Treiber pops are race-free under TSan) and a stamp word recording the slot
+// of the last allocator (0 = never allocated). The stamp gives exact
+// recycle and cross-worker-free counts for one relaxed load per operation.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/pool.hpp"
+#include "mem/thread_slot.hpp"
+#include "util/cache_aligned.hpp"
+
+namespace spdag {
+
+class slab_cache : public object_pool {
+ public:
+  static constexpr std::size_t default_slab_bytes = 1 << 16;
+
+  // `slab_bytes` is the upstream allocation unit (rounded up to hold at
+  // least one cell). Throws std::invalid_argument on a zero object size.
+  slab_cache(std::string name, std::size_t object_bytes,
+             std::size_t object_align,
+             std::size_t slab_bytes = default_slab_bytes);
+  ~slab_cache() override;
+
+  void* allocate() override;
+  void deallocate(void* p) noexcept override;
+  pool_stats stats() const override;
+
+  std::size_t cell_stride() const noexcept { return stride_; }
+  std::size_t slab_bytes() const noexcept { return slab_bytes_; }
+  std::size_t slab_count() const;
+
+ private:
+  // One worker's cell cache. Only the slot's owner thread touches items/
+  // count; the counters are relaxed atomics so stats() can read them from
+  // any thread.
+  static constexpr std::uint32_t magazine_cap = 32;
+  static constexpr std::uint32_t batch = magazine_cap / 2;
+
+  struct alignas(cache_line_size) magazine {
+    void* items[magazine_cap];
+    std::uint32_t count = 0;
+    std::atomic<std::uint64_t> allocs{0};
+    std::atomic<std::uint64_t> frees{0};
+    std::atomic<std::uint64_t> recycles{0};
+    std::atomic<std::uint64_t> remote_frees{0};
+    std::atomic<std::uint64_t> refills{0};
+    std::atomic<std::uint64_t> flushes{0};
+  };
+
+  std::atomic<void*>* link_of(void* obj) const noexcept {
+    return reinterpret_cast<std::atomic<void*>*>(static_cast<char*>(obj) -
+                                                 hdr_space_);
+  }
+  static std::atomic<std::uint64_t>* stamp_of(void* obj) noexcept {
+    return reinterpret_cast<std::atomic<std::uint64_t>*>(
+        static_cast<char*>(obj) - sizeof(std::uint64_t));
+  }
+
+  magazine& mag(int slot);
+  void refill(magazine& m);              // postcondition: m.count >= 1
+  void flush(magazine& m) noexcept;      // postcondition: m.count < cap
+  void carve(void** out, std::uint32_t want, std::uint32_t& got);
+  void* pop_global() noexcept;
+  void push_global(void* first, void* last) noexcept;
+  static bool restamp(void* p, int slot) noexcept;
+
+  std::size_t hdr_space_;   // bytes before the object: link + pad + stamp
+  std::size_t stride_;      // full cell size, object_align-multiple
+  std::size_t slab_bytes_;
+  std::size_t slab_align_;
+
+  std::atomic<std::uint64_t> global_head_{0};  // pack(cell, tag)
+  std::atomic<magazine*> mags_[mem::max_thread_slots] = {};
+
+  mutable std::mutex grow_mu_;
+  std::vector<void*> slabs_;
+  char* cursor_ = nullptr;
+  char* slab_end_ = nullptr;
+
+  // Cold-path / bypass tallies (magazine-cached ops count in the magazine).
+  std::atomic<std::uint64_t> g_allocs_{0};
+  std::atomic<std::uint64_t> g_frees_{0};
+  std::atomic<std::uint64_t> g_recycles_{0};
+  std::atomic<std::uint64_t> g_remote_frees_{0};
+  std::atomic<std::uint64_t> carved_{0};
+  std::atomic<std::uint64_t> slab_growths_{0};
+};
+
+// Typed convenience over slab_cache for callers that own their pool outright
+// (tests, structures with a single cell type).
+template <typename T>
+class slab_pool final : public slab_cache {
+ public:
+  explicit slab_pool(std::string name = "slab",
+                     std::size_t slab_bytes = default_slab_bytes)
+      : slab_cache(std::move(name), sizeof(T), alignof(T), slab_bytes) {}
+
+  template <typename... Args>
+  T* create(Args&&... args) {
+    return pool_new<T>(*this, std::forward<Args>(args)...);
+  }
+  void destroy(T* obj) noexcept { pool_delete(*this, obj); }
+};
+
+}  // namespace spdag

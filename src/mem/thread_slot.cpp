@@ -1,0 +1,64 @@
+#include "mem/thread_slot.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+namespace spdag::mem {
+
+namespace {
+
+constexpr int kWords = max_thread_slots / 64;
+std::atomic<std::uint64_t> slot_bitmap[kWords];  // bit set <=> slot claimed
+
+int acquire_slot() noexcept {
+  for (int w = 0; w < kWords; ++w) {
+    std::uint64_t bits = slot_bitmap[w].load(std::memory_order_relaxed);
+    for (;;) {
+      if (bits == ~std::uint64_t{0}) break;  // word full, try the next
+      const int bit = __builtin_ctzll(~bits);
+      const std::uint64_t want = bits | (std::uint64_t{1} << bit);
+      if (slot_bitmap[w].compare_exchange_weak(bits, want,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+        return w * 64 + bit;
+      }
+    }
+  }
+  return -1;
+}
+
+void release_slot(int slot) noexcept {
+  slot_bitmap[slot / 64].fetch_and(~(std::uint64_t{1} << (slot % 64)),
+                                   std::memory_order_acq_rel);
+}
+
+// Claims on first use (thread_local dynamic init), releases at thread exit.
+// Magazines indexed by the slot stay inside their pools, so a new thread
+// inheriting a released slot simply inherits its cached cells. The slot is
+// cleared BEFORE the bitmap bit is released: thread_locals destroyed after
+// this guard may still reach pools, and they must take the magazine-less
+// bypass rather than touch a magazine a new thread may now own.
+struct slot_guard {
+  int slot = acquire_slot();
+  ~slot_guard() {
+    const int s = slot;
+    slot = -1;
+    if (s >= 0) release_slot(s);
+  }
+};
+
+thread_local slot_guard tls_slot;
+
+}  // namespace
+
+int thread_slot() noexcept { return tls_slot.slot; }
+
+int claimed_thread_slots() noexcept {
+  int n = 0;
+  for (int w = 0; w < kWords; ++w) {
+    n += __builtin_popcountll(slot_bitmap[w].load(std::memory_order_relaxed));
+  }
+  return n;
+}
+
+}  // namespace spdag::mem

@@ -1,0 +1,30 @@
+#pragma once
+// Process-wide worker slot ids for per-worker pool magazines.
+//
+// Every thread that touches a slab_cache gets a small dense id on first use,
+// held for the thread's lifetime and returned to a free bitmap when the
+// thread exits — so a scheduler that parks and respawns workers (or a test
+// that loops raw std::threads) reuses the same few slots instead of growing
+// an unbounded directory. A slot is owned by exactly one live thread at a
+// time, which is the invariant that lets magazines be accessed without
+// synchronization beyond their own relaxed counters.
+//
+// Slots are deliberately NOT the scheduler's worker ids: pools outlive any
+// one scheduler, and non-worker threads (the blocked caller of run(), test
+// threads) allocate too.
+
+namespace spdag::mem {
+
+// Upper bound on concurrently live threads that get magazine caching. A
+// thread past the cap receives -1 and slab_cache falls back to the shared
+// lock-free recycle list (correct, just uncached).
+inline constexpr int max_thread_slots = 256;
+
+// This thread's slot in [0, max_thread_slots), or -1 when over-subscribed.
+// First call on a thread claims the slot; the thread keeps it until exit.
+int thread_slot() noexcept;
+
+// Number of slots currently claimed (tests / observability).
+int claimed_thread_slots() noexcept;
+
+}  // namespace spdag::mem

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "outset/simple_outset.hpp"
+#include "util/cache_aligned.hpp"
 
 namespace spdag {
 
@@ -13,7 +14,27 @@ void repool_waiter(void* ctx, outset_waiter* w) {
   static_cast<outset_factory*>(ctx)->release_waiter(w);
 }
 
+// Strict unsigned parse: the whole field must be digits (stoull would
+// silently wrap "-1" and ignore trailing garbage).
+std::uint64_t parse_spec_u64(const std::string& field,
+                             const std::string& spec) {
+  if (field.empty() ||
+      field.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("bad number in outset spec: " + spec);
+  }
+  try {
+    return std::stoull(field);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number in outset spec: " + spec);
+  }
+}
+
 }  // namespace
+
+outset_factory::outset_factory(pool_registry* pools)
+    : pools_(pools != nullptr ? pools : &default_pool_registry()),
+      waiter_pool_(&pools_->get("outset_waiter", sizeof(outset_waiter),
+                                alignof(outset_waiter))) {}
 
 outset* outset_factory::acquire() {
   outset* o = pool_.pop();
@@ -33,16 +54,9 @@ void outset_factory::release(outset* o) {
 
 outset_waiter* outset_factory::acquire_waiter(vertex* consumer,
                                               dag_engine* engine) {
-  outset_waiter* w = waiter_pool_.pop();
-  if (w == nullptr) {
-    auto fresh = std::make_unique<outset_waiter>();
-    w = fresh.get();
-    std::lock_guard<std::mutex> lock(all_mu_);
-    all_waiters_.push_back(std::move(fresh));
-  }
+  outset_waiter* w = pool_new<outset_waiter>(*waiter_pool_);
   w->consumer = consumer;
   w->engine = engine;
-  w->next.store(nullptr, std::memory_order_relaxed);
   return w;
 }
 
@@ -52,8 +66,7 @@ std::size_t outset_factory::created() const {
 }
 
 std::size_t outset_factory::waiters_created() const {
-  std::lock_guard<std::mutex> lock(all_mu_);
-  return all_waiters_.size();
+  return waiter_pool_->stats().carved;
 }
 
 outset_totals outset_factory::totals() const {
@@ -67,27 +80,46 @@ std::unique_ptr<outset> simple_outset_factory::create() {
   return std::make_unique<simple_outset>();
 }
 
+tree_outset_factory::tree_outset_factory(tree_outset_config cfg,
+                                         pool_registry* pools)
+    : outset_factory(pools), cfg_(cfg) {
+  // One group pool per fanout geometry; every tree this factory creates
+  // shares it, so pooled out-sets recycled at different times draw from one
+  // set of slabs.
+  cfg_.groups = &tree_outset_group_pool(this->pools(), cfg_.fanout);
+}
+
 std::unique_ptr<outset> tree_outset_factory::create() {
   return std::make_unique<tree_outset>(cfg_);
 }
 
-std::unique_ptr<outset_factory> make_outset_factory(const std::string& spec) {
+std::unique_ptr<outset_factory> make_outset_factory(const std::string& spec,
+                                                    pool_registry* pools) {
   std::string s = spec;
   if (s.rfind("outset:", 0) == 0) s = s.substr(7);
-  if (s == "simple") return std::make_unique<simple_outset_factory>();
-  if (s == "tree") return std::make_unique<tree_outset_factory>();
+  if (s == "simple") return std::make_unique<simple_outset_factory>(pools);
+  if (s == "tree") return std::make_unique<tree_outset_factory>(
+      tree_outset_config{}, pools);
   if (s.rfind("tree:", 0) == 0) {
     tree_outset_config cfg;
-    const long fanout = std::stol(s.substr(5));
-    // The upper bound is a sanity rail: a group (fanout + 1 cache lines) is
-    // one arena allocation, and fan-outs past a few dozen already defeat the
-    // point of the tree (spreading adds across lines).
+    std::string rest = s.substr(5);
+    const auto colon = rest.find(':');
+    if (colon != std::string::npos) {
+      // "tree:<fanout>:<threshold>": damp growth with a 1/threshold coin,
+      // the same knob as the in-counter's "dyn:<threshold>".
+      cfg.grow_threshold = parse_spec_u64(rest.substr(colon + 1), spec);
+      rest = rest.substr(0, colon);
+    }
+    const std::uint64_t fanout = parse_spec_u64(rest, spec);
+    // The upper bound is a sanity rail: a group (fanout cache lines) is one
+    // pool cell, and fan-outs past a few dozen already defeat the point of
+    // the tree (spreading adds across lines).
     if (fanout < 2 || fanout > 1024) {
       throw std::invalid_argument("outset tree fanout must be in [2, 1024]: " +
                                   spec);
     }
     cfg.fanout = static_cast<std::uint32_t>(fanout);
-    return std::make_unique<tree_outset_factory>(cfg);
+    return std::make_unique<tree_outset_factory>(cfg, pools);
   }
   throw std::invalid_argument("unknown outset spec: " + spec);
 }

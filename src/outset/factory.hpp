@@ -7,10 +7,16 @@
 // stacks so the benchmarks measure the structure's own cost, not malloc's.
 //
 // Spec strings (accepted with or without the "outset:" prefix):
-//   "simple"           single CAS-list head (the baseline)
-//   "tree"             grow-on-contention tree, fanout 2
-//   "tree:<fanout>"    grow-on-contention tree with the given fanout (>= 2)
+//   "simple"                     single CAS-list head (the baseline)
+//   "tree"                       grow-on-contention tree, fanout 2
+//   "tree:<fanout>"              grow-on-contention tree, given fanout (>= 2)
+//   "tree:<fanout>:<threshold>"  growth damped by a 1/threshold coin, like
+//                                the in-counter's (1 = always, 0 = never)
 // Throws std::invalid_argument on anything else.
+//
+// Waiter records and tree node groups are slab-pool cells from the given
+// pool registry (src/mem/), so a factory is a thin directory: it pools only
+// the polymorphic out-set objects themselves.
 
 #include <cstdint>
 #include <memory>
@@ -18,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/registry.hpp"
 #include "outset/outset.hpp"
 #include "outset/tree_outset.hpp"
 #include "util/treiber_stack.hpp"
@@ -26,6 +33,10 @@ namespace spdag {
 
 class outset_factory {
  public:
+  // `pools` supplies the waiter-record (and, for trees, node-group) cells;
+  // null = the process-wide default registry. Borrowed, must outlive the
+  // factory.
+  explicit outset_factory(pool_registry* pools = nullptr);
   virtual ~outset_factory() = default;
 
   // Thread-safe: pops a pooled out-set (or creates one), pristine.
@@ -35,18 +46,21 @@ class outset_factory {
   // waiter pool) and returns it to the out-set pool.
   void release(outset* o);
 
-  // Thread-safe waiter-record pool (one record per registration).
+  // Thread-safe waiter-record pool (one slab cell per registration).
   outset_waiter* acquire_waiter(vertex* consumer, dag_engine* engine);
-  void release_waiter(outset_waiter* w) { waiter_pool_.push(w); }
+  void release_waiter(outset_waiter* w) { pool_delete(*waiter_pool_, w); }
 
   // Short machine name ("simple", "tree:4") and a plot-legend label.
   virtual std::string name() const = 0;
   virtual std::string display_name() const = 0;
 
-  // Out-sets / waiter records created over the factory's lifetime (pool
-  // effectiveness).
+  // Out-sets created over the factory's lifetime (pool effectiveness).
   std::size_t created() const;
+  // Waiter cells ever carved by the backing pool. Registry-scoped: factories
+  // sharing one registry share the count.
   std::size_t waiters_created() const;
+
+  pool_registry& pools() const noexcept { return *pools_; }
 
   // Instrumentation summed over every out-set this factory ever created
   // (counters are monotone across pooling generations). The headline stat:
@@ -59,17 +73,18 @@ class outset_factory {
   virtual std::unique_ptr<outset> create() = 0;
 
  private:
+  pool_registry* pools_;
+  object_pool* waiter_pool_;
   treiber_stack<outset> pool_;
-  treiber_stack<outset_waiter> waiter_pool_;
   mutable std::mutex all_mu_;
   std::vector<std::unique_ptr<outset>> all_;
-  std::vector<std::unique_ptr<outset_waiter>> all_waiters_;
 };
 
 // --- concrete factories ---
 
 class simple_outset_factory final : public outset_factory {
  public:
+  using outset_factory::outset_factory;
   std::string name() const override { return "simple"; }
   std::string display_name() const override { return "CAS list"; }
 
@@ -79,9 +94,14 @@ class simple_outset_factory final : public outset_factory {
 
 class tree_outset_factory final : public outset_factory {
  public:
-  explicit tree_outset_factory(tree_outset_config cfg = {}) : cfg_(cfg) {}
+  explicit tree_outset_factory(tree_outset_config cfg = {},
+                               pool_registry* pools = nullptr);
   std::string name() const override {
-    return "tree:" + std::to_string(cfg_.fanout);
+    std::string s = "tree:" + std::to_string(cfg_.fanout);
+    if (cfg_.grow_threshold != 1) {
+      s += ":" + std::to_string(cfg_.grow_threshold);
+    }
+    return s;
   }
   std::string display_name() const override { return "out-set tree"; }
   const tree_outset_config& config() const noexcept { return cfg_; }
@@ -93,8 +113,10 @@ class tree_outset_factory final : public outset_factory {
   tree_outset_config cfg_;
 };
 
-// Parses an out-set spec (see file comment).
-std::unique_ptr<outset_factory> make_outset_factory(const std::string& spec);
+// Parses an out-set spec (see file comment). `pools` supplies waiter and
+// node-group cells (null = default registry).
+std::unique_ptr<outset_factory> make_outset_factory(
+    const std::string& spec, pool_registry* pools = nullptr);
 
 // Process-wide simple factory used by engines and futures that were not
 // handed an explicit factory (tests constructing futures outside a runtime).

@@ -38,13 +38,13 @@ namespace spdag {
 class vertex;      // not dereferenced here; see src/dag/vertex.hpp
 class dag_engine;  // not dereferenced here; see src/dag/engine.hpp
 
-// One registered consumer. Allocated and pooled by the outset_factory; the
-// out-set links captured waiters through `next`.
+// One registered consumer. One slab-pool cell per registration, drawn and
+// returned through the outset_factory; the out-set links captured waiters
+// through `next`.
 struct outset_waiter {
   vertex* consumer = nullptr;
   dag_engine* engine = nullptr;
-  std::atomic<outset_waiter*> next{nullptr};       // intrusive capture list
-  std::atomic<outset_waiter*> pool_next{nullptr};  // factory pool linkage
+  std::atomic<outset_waiter*> next{nullptr};  // intrusive capture list
 };
 
 // Aggregate view of one out-set's relaxed instrumentation counters.

@@ -1,6 +1,5 @@
 #include "outset/tree_outset.hpp"
 
-#include <algorithm>
 #include <cassert>
 
 #include "util/rng.hpp"
@@ -9,13 +8,18 @@ namespace spdag {
 
 tree_outset::tree_outset(tree_outset_config cfg)
     : cfg_(cfg),
-      // A chunk must fit at least one child group (header + fanout nodes),
-      // or block_arena::allocate would loop forever growing chunks that can
-      // never satisfy the request.
-      arena_(std::max<std::size_t>(
-          cfg.arena_chunk_bytes,
-          cache_line_size * (std::size_t{cfg.fanout} + 1))) {
+      groups_(cfg.groups != nullptr
+                  ? cfg.groups
+                  : &tree_outset_group_pool(default_pool_registry(),
+                                            cfg.fanout)) {
   assert(cfg_.fanout >= 2 && "a tree out-set needs at least two children");
+}
+
+tree_outset::~tree_outset() {
+  // Waiter records are owned by the factory's pool; only the groups are
+  // ours to return. Structured use resets before destruction, so this walk
+  // is usually a no-op.
+  reset_node(&base_, [](void*, outset_waiter*) {}, nullptr);
 }
 
 bool tree_outset::add(outset_waiter* w) noexcept {
@@ -38,9 +42,15 @@ bool tree_outset::add(outset_waiter* w) noexcept {
       }
       count_retry();
       // Another consumer hit this cache line in our window — the contention
-      // signal. Move down to spread out, unless the depth cap says to stay
-      // and fight on this line.
-      if (depth < cfg_.max_depth) break;
+      // signal. Move down to spread out, unless the depth cap says to stay,
+      // or the growth-damping coin (see file comment) comes up tails — the
+      // same 1/threshold gate as the in-counter's grow().
+      if (depth < cfg_.max_depth &&
+          (cfg_.grow_threshold == 1 ||
+           (cfg_.grow_threshold != 0 &&
+            thread_rng().below(cfg_.grow_threshold) == 0))) {
+        break;
+      }
     }
     tree_node* kids = n->children.load(std::memory_order_acquire);
     if (kids == nullptr) kids = grow(n);
@@ -56,25 +66,20 @@ bool tree_outset::add(outset_waiter* w) noexcept {
 }
 
 tree_outset::tree_node* tree_outset::grow(tree_node* n) noexcept {
-  node_group* g = free_groups_.pop();
-  if (g == nullptr) {
-    // Fresh group: one header line + fanout node lines, bump-allocated so
-    // growth on the registration critical path never calls malloc.
-    void* raw = arena_.allocate(
-        cache_line_size + cfg_.fanout * sizeof(tree_node), cache_line_size);
-    g = ::new (raw) node_group{};
-    for (std::uint32_t i = 0; i < cfg_.fanout; ++i) {
-      ::new (g->nodes() + i) tree_node{};
-    }
+  // One pool cell per group: fanout fresh node lines. The slab pool keeps
+  // growth on the registration critical path away from malloc (per-worker
+  // magazine hit in steady state).
+  auto* kids = static_cast<tree_node*>(groups_->allocate());
+  for (std::uint32_t i = 0; i < cfg_.fanout; ++i) {
+    ::new (kids + i) tree_node{};
   }
-  // Pooled groups were scrubbed by reset_node before being pushed.
   tree_node* expected = nullptr;
-  if (n->children.compare_exchange_strong(expected, g->nodes(),
+  if (n->children.compare_exchange_strong(expected, kids,
                                           std::memory_order_acq_rel,
                                           std::memory_order_acquire)) {
-    return g->nodes();
+    return kids;
   }
-  free_groups_.push(g);
+  groups_->deallocate(kids);
   return expected;  // the winning group — or the finalizer's sentinel
 }
 
@@ -120,7 +125,7 @@ void tree_outset::reset_node(tree_node* n, waiter_sink sink, void* ctx) {
     for (std::uint32_t i = 0; i < cfg_.fanout; ++i) {
       reset_node(kids + i, sink, ctx);
     }
-    free_groups_.push(node_group::from_nodes(kids));
+    groups_->deallocate(kids);
   }
 }
 
@@ -156,7 +161,7 @@ std::size_t tree_outset::max_depth() const {
 }
 
 std::size_t tree_outset::recycled_group_count() const {
-  return free_groups_.size_slow();
+  return groups_->stats().frees;
 }
 
 }  // namespace spdag

@@ -29,19 +29,36 @@
 // sentinels are only ever installed by finalize, which the producer calls
 // after publishing the value).
 //
-// Memory. Child groups are carved from a per-outset bump arena and recycled
-// through a tagged Treiber stack across reset() generations, so Figure-10
-// style churn (one future per iteration, millions of iterations) measures
-// the structure, not malloc — the same policy as the in-counter's arena.
+// Growth damping. Like the in-counter's grow(), descending can be gated on
+// a 1/grow_threshold coin flipped per contention signal: with threshold t a
+// collided add stays and fights on the current line with probability
+// 1 - 1/t, so the tree grows roughly t-times slower under the same
+// contention (threshold 1 = always grow, the analyzed setting; 0 = never,
+// degenerating to simple_outset on the base line).
+//
+// Memory. Child groups (fanout cache-line nodes, one pool cell) come from
+// the shared "outset_group" slab pool (src/mem/), so Figure-10 style churn
+// (one future per iteration, millions of iterations) measures the
+// structure, not malloc — and groups freed by reset() recirculate through
+// the pool's per-worker magazines instead of a per-outset stash.
 
 #include <cstdint>
 
+#include "mem/registry.hpp"
 #include "outset/outset.hpp"
-#include "util/arena.hpp"
 #include "util/cache_aligned.hpp"
-#include "util/treiber_stack.hpp"
 
 namespace spdag {
+
+// THE node-group pool of a registry for one fanout (a group is `fanout`
+// cache-line nodes in one cell) — the single definition of its identity,
+// shared by every call site so factories and stand-alone trees can never
+// diverge onto disjoint pools.
+inline object_pool& tree_outset_group_pool(pool_registry& pools,
+                                           std::uint32_t fanout) {
+  return pools.get("outset_group", std::size_t{fanout} * cache_line_size,
+                   cache_line_size);
+}
 
 struct tree_outset_config {
   // Children installed per grow. 2 mirrors snzi's child_pair; wider fanouts
@@ -51,22 +68,31 @@ struct tree_outset_config {
   // Bounds the tree at fanout^max_depth nodes; with grow-on-contention the
   // expected depth is log_fanout(concurrent adders), far below the cap.
   std::uint32_t max_depth = 12;
-  std::size_t arena_chunk_bytes = 1 << 12;
+  // A collided add descends with probability 1/grow_threshold (see file
+  // comment); 1 = always, 0 = never.
+  std::uint64_t grow_threshold = 1;
+  // Node-group slab pool; null = the default registry's outset_group pool
+  // for this fanout. Borrowed, must outlive the out-set.
+  object_pool* groups = nullptr;
 };
 
 class tree_outset final : public outset {
  public:
   explicit tree_outset(tree_outset_config cfg = {});
+  ~tree_outset() override;
 
   bool add(outset_waiter* w) noexcept override;
   void finalize(waiter_sink sink, void* ctx) override;
   void reset(waiter_sink sink, void* ctx) override;
 
   std::uint32_t fanout() const noexcept { return cfg_.fanout; }
+  std::uint64_t grow_threshold() const noexcept { return cfg_.grow_threshold; }
 
   // --- non-concurrent introspection (tests, space accounting) ---
   std::size_t node_count() const;  // reachable nodes incl. base
   std::size_t max_depth() const;   // base = depth 0
+  // Groups ever returned to the backing pool (pool-scoped, monotone; a
+  // lower bound on reuse since the pool is shared across out-sets).
   std::size_t recycled_group_count() const;
 
  private:
@@ -78,21 +104,6 @@ class tree_outset final : public outset {
   };
   static_assert(sizeof(tree_node) == cache_line_size,
                 "an out-set node must own exactly one cache line");
-
-  // One arena allocation: a header line followed by `fanout` nodes. While
-  // pooled the group sits on a tagged Treiber stack (like snzi's child_pair
-  // recycling) chained through `pool_next`.
-  struct alignas(cache_line_size) node_group {
-    std::atomic<node_group*> pool_next{nullptr};
-    tree_node* nodes() noexcept {
-      return reinterpret_cast<tree_node*>(reinterpret_cast<char*>(this) +
-                                          cache_line_size);
-    }
-    static node_group* from_nodes(tree_node* n) noexcept {
-      return reinterpret_cast<node_group*>(reinterpret_cast<char*>(n) -
-                                           cache_line_size);
-    }
-  };
 
   static tree_node* terminated_children() noexcept {
     return reinterpret_cast<tree_node*>(std::uintptr_t{1});
@@ -107,9 +118,8 @@ class tree_outset final : public outset {
   static std::size_t depth_below(const tree_node* n, std::uint32_t fanout);
 
   tree_outset_config cfg_;
-  block_arena arena_;
+  object_pool* groups_;  // one `fanout`-node group per cell
   tree_node base_;
-  treiber_stack<node_group> free_groups_;
 };
 
 }  // namespace spdag

@@ -13,8 +13,14 @@
 // algorithm the reproduced paper's own evaluation used).
 //
 // Out-set specs (waiter broadcast for futures, see make_outset_factory):
-// "simple" (single CAS-list head, the default) or "tree[:fanout]" (the
-// grow-on-contention out-set tree).
+// "simple" (single CAS-list head, the default) or "tree[:fanout[:threshold]]"
+// (the grow-on-contention out-set tree).
+//
+// Alloc specs (hot-path memory, see make_pool_registry): "pool[:block]"
+// (per-worker slab pools, the default) or "malloc" (passthrough baseline).
+// The registry feeds every bookkeeping allocation under this runtime:
+// vertices, dec-pairs, future states, SNZI child pairs, out-set node groups
+// and waiter records.
 
 #include <cstddef>
 #include <memory>
@@ -24,6 +30,7 @@
 
 #include "dag/engine.hpp"
 #include "incounter/factory.hpp"
+#include "mem/registry.hpp"
 #include "outset/factory.hpp"
 #include "sched/private_deques.hpp"
 #include "sched/scheduler.hpp"
@@ -39,8 +46,11 @@ struct runtime_config {
   dag_engine_options engine_options = {};
   std::string sched = "ws";    // "ws" | "private"
   // Out-set spec for futures created under this runtime, see
-  // make_outset_factory: "simple" (default) | "tree[:fanout]".
+  // make_outset_factory: "simple" (default) | "tree[:fanout[:threshold]]".
   std::string outset = "simple";
+  // Allocation spec, see make_pool_registry: "pool[:block]" (default) |
+  // "malloc".
+  std::string alloc = "pool";
 };
 
 // Builds a scheduler from its spec string.
@@ -64,11 +74,14 @@ inline std::unique_ptr<scheduler_base> make_scheduler(const std::string& spec,
 class runtime {
  public:
   explicit runtime(runtime_config cfg = {})
-      : factory_(make_counter_factory(cfg.counter, cfg.snzi_stats)),
-        outsets_(make_outset_factory(cfg.outset)),
+      : pools_(make_pool_registry(cfg.alloc)),
+        factory_(make_counter_factory(cfg.counter, cfg.snzi_stats,
+                                      pools_.get())),
+        outsets_(make_outset_factory(cfg.outset, pools_.get())),
         sched_(make_scheduler(cfg.sched, cfg.workers, cfg.pin_threads)),
         engine_(*factory_, *sched_,
-                with_outsets(cfg.engine_options, outsets_.get())) {}
+                with_plumbing(cfg.engine_options, outsets_.get(),
+                              pools_.get())) {}
 
   runtime(const runtime&) = delete;
   runtime& operator=(const runtime&) = delete;
@@ -87,16 +100,25 @@ class runtime {
   // The factory futures actually use — the engine's, which is the spec
   // factory unless engine_options.outsets overrode it.
   outset_factory& outsets() noexcept { return engine_.outsets(); }
+  // The registry hot-path allocations under this runtime draw from — the
+  // engine's, which is the spec registry unless engine_options.pools
+  // overrode it.
+  pool_registry& pools() noexcept { return engine_.pools(); }
   std::size_t workers() const noexcept { return sched_->worker_count(); }
 
  private:
-  static dag_engine_options with_outsets(dag_engine_options o,
-                                         outset_factory* f) noexcept {
-    // A factory set explicitly in engine_options wins over the spec string.
+  static dag_engine_options with_plumbing(dag_engine_options o,
+                                          outset_factory* f,
+                                          pool_registry* p) noexcept {
+    // Anything set explicitly in engine_options wins over the spec strings.
     if (o.outsets == nullptr) o.outsets = f;
+    if (o.pools == nullptr) o.pools = p;
     return o;
   }
 
+  // Declared first so it is destroyed last: every structure below caches
+  // object_pool references into it.
+  std::unique_ptr<pool_registry> pools_;
   std::unique_ptr<counter_factory> factory_;
   std::unique_ptr<outset_factory> outsets_;
   std::unique_ptr<scheduler_base> sched_;

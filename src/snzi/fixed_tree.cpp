@@ -4,10 +4,11 @@
 
 namespace spdag::snzi {
 
-fixed_tree::fixed_tree(int depth, std::uint64_t initial_surplus, tree_stats* stats)
+fixed_tree::fixed_tree(int depth, std::uint64_t initial_surplus,
+                       tree_stats* stats, object_pool* pairs)
     : depth_(depth),
       tree_(0, tree_config{/*grow_threshold=*/1, /*reclaim=*/false, stats,
-                           /*arena_chunk_bytes=*/1 << 13}) {
+                           pairs}) {
   if (depth < 0 || depth > 24) {
     throw std::invalid_argument("fixed_tree depth out of range [0, 24]");
   }

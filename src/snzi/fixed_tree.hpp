@@ -19,8 +19,10 @@ namespace spdag::snzi {
 class fixed_tree {
  public:
   // depth 0 is a single node (the base); depth d has 2^{d+1} - 1 nodes.
+  // `pairs` is the child-pair slab pool (null = default registry's).
   explicit fixed_tree(int depth, std::uint64_t initial_surplus = 0,
-                      tree_stats* stats = nullptr);
+                      tree_stats* stats = nullptr,
+                      object_pool* pairs = nullptr);
 
   fixed_tree(const fixed_tree&) = delete;
   fixed_tree& operator=(const fixed_tree&) = delete;

@@ -58,7 +58,8 @@ std::size_t free_pair_count(const tree_context& ctx) noexcept {
 
 int node::arrive() noexcept {
   visit();
-  stat_add(ctx_->stats, &tree_stats::arrives);
+  tree_context* ctx = context();
+  stat_add(ctx->stats, &tree_stats::arrives);
   int hops = 1;
   int undo = 0;
   bool succ = false;
@@ -72,7 +73,7 @@ int node::arrive() noexcept {
                                       std::memory_order_acquire)) {
         succ = true;
       } else {
-        stat_add(ctx_->stats, &tree_stats::cas_failures);
+        stat_add(ctx->stats, &tree_stats::cas_failures);
       }
       continue;
     }
@@ -80,7 +81,7 @@ int node::arrive() noexcept {
       // Begin a 0 -> 1 transition by installing the intermediate 1/2 state.
       if (!cv_.compare_exchange_strong(x, pack(1, v + 1), std::memory_order_seq_cst,
                                        std::memory_order_acquire)) {
-        stat_add(ctx_->stats, &tree_stats::cas_failures);
+        stat_add(ctx->stats, &tree_stats::cas_failures);
         continue;
       }
       succ = true;
@@ -101,7 +102,7 @@ int node::arrive() noexcept {
     }
   }
   while (undo-- > 0) {
-    stat_add(ctx_->stats, &tree_stats::undo_departs);
+    stat_add(ctx->stats, &tree_stats::undo_departs);
     depart_parent();
   }
   return hops;
@@ -109,7 +110,8 @@ int node::arrive() noexcept {
 
 bool node::depart() noexcept {
   visit();
-  stat_add(ctx_->stats, &tree_stats::departs);
+  tree_context* ctx = context();
+  stat_add(ctx->stats, &tree_stats::departs);
   std::uint64_t x = cv_.load(std::memory_order_acquire);
   for (;;) {
     const std::uint32_t h = half_of(x);
@@ -120,71 +122,79 @@ bool node::depart() noexcept {
       if (h == 2) {
         // Phase change: this node's surplus returned to zero.
         const bool zero = depart_parent();
-        if (ctx_->reclaim) retire();
+        if (ctx->reclaim) retire();
         return zero;
       }
       return false;
     }
-    stat_add(ctx_->stats, &tree_stats::cas_failures);
+    stat_add(ctx->stats, &tree_stats::cas_failures);
   }
 }
 
 int node::arrive_parent() noexcept {
-  return parent_ != nullptr ? parent_->arrive() : ctx_->root->arrive();
+  node* p = parent();
+  return p != nullptr ? p->arrive() : context()->root->arrive();
 }
 
 bool node::depart_parent() noexcept {
-  return parent_ != nullptr ? parent_->depart() : ctx_->root->depart();
+  node* p = parent();
+  return p != nullptr ? p->depart() : context()->root->depart();
 }
 
 std::pair<node*, node*> node::grow(std::uint64_t threshold) noexcept {
-  stat_add(ctx_->stats, &tree_stats::grow_calls);
+  tree_context* ctx = context();
+  stat_add(ctx->stats, &tree_stats::grow_calls);
   // Flip the coin BEFORE reading the children pointer that determines the
   // return value (section 2: an adversary blind to local coin flips can
   // force at most `threshold` childless returns in expectation).
   const bool heads =
       threshold == 1 || (threshold != 0 && thread_rng().below(threshold) == 0);
   if (heads && children_.load(std::memory_order_acquire) == nullptr) {
-    child_pair* pair = free_pair_pop(*ctx_);
+    child_pair* pair = free_pair_pop(*ctx);
     const bool reused = pair != nullptr;
-    if (pair == nullptr) pair = ctx_->arena->create<child_pair>();
-    pair->left.init(this, pair, ctx_);
-    pair->right.init(this, pair, ctx_);
+    if (pair == nullptr) {
+      pair = pool_new<child_pair>(*ctx->pairs);
+      ctx->pair_allocs.fetch_add(1, std::memory_order_relaxed);
+    }
+    pair->left.init(this, pair, ctx);
+    pair->right.init(this, pair, ctx);
     pair->retired.store(0, std::memory_order_relaxed);
     child_pair* expect = nullptr;
     if (children_.compare_exchange_strong(expect, pair, std::memory_order_seq_cst,
                                           std::memory_order_acquire)) {
-      stat_add(ctx_->stats,
+      stat_add(ctx->stats,
                reused ? &tree_stats::grow_reuses : &tree_stats::grow_allocs);
     } else {
       // Lost the race: return the unused pair to the pool.
-      stat_add(ctx_->stats, &tree_stats::grow_lost_races);
-      free_pair_push(*ctx_, pair);
+      stat_add(ctx->stats, &tree_stats::grow_lost_races);
+      free_pair_push(*ctx, pair);
     }
   }
   child_pair* kids = children_.load(std::memory_order_acquire);
   if (kids == nullptr) {
-    stat_add(ctx_->stats, &tree_stats::grow_childless);
+    stat_add(ctx->stats, &tree_stats::grow_childless);
     return {this, this};
   }
   return {&kids->left, &kids->right};
 }
 
 void node::retire() noexcept {
-  child_pair* pair = self_pair_;
+  child_pair* pair = self_pair_.load(std::memory_order_relaxed);
   if (pair == nullptr) return;  // the base node is never recycled
-  stat_add(ctx_->stats, &tree_stats::retires);
+  tree_context* ctx = context();
+  stat_add(ctx->stats, &tree_stats::retires);
   if (pair->retired.fetch_add(1, std::memory_order_acq_rel) + 1 == 2) {
     // Both siblings drained. With grow threshold 1 the paper proves
     // (Lemma 4.6 / appendix B) that no live handle can reach this pair or
     // its parent's grow path again, so unlink and recycle.
-    assert(parent_ != nullptr && "pair members always have a node parent");
+    node* p = parent();
+    assert(p != nullptr && "pair members always have a node parent");
     child_pair* expect = pair;
-    if (parent_->children_.compare_exchange_strong(expect, nullptr,
-                                                   std::memory_order_seq_cst,
-                                                   std::memory_order_acquire)) {
-      stat_add(ctx_->stats, &tree_stats::pair_recycles);
-      free_pair_push(*ctx_, pair);
+    if (p->children_.compare_exchange_strong(expect, nullptr,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_acquire)) {
+      stat_add(ctx->stats, &tree_stats::pair_recycles);
+      free_pair_push(*ctx, pair);
     }
   }
 }

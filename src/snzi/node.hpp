@@ -17,16 +17,16 @@
 // whose surplus returned to zero can never be reached again, so when both
 // nodes of a child pair have phase-changed back to zero the pair is unlinked
 // from its parent and pushed onto a recycling pool that grow() consults
-// before bump-allocating from the arena.
+// before drawing a fresh pair from the shared slab pool (src/mem/).
 
 #include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <utility>
 
+#include "mem/registry.hpp"
 #include "snzi/root.hpp"
 #include "snzi/stats.hpp"
-#include "util/arena.hpp"
 #include "util/cache_aligned.hpp"
 
 namespace spdag::snzi {
@@ -37,9 +37,10 @@ struct child_pair;
 // Shared context: every node of one tree points here.
 struct tree_context {
   root_node* root = nullptr;
-  block_arena* arena = nullptr;
+  object_pool* pairs = nullptr;              // child_pair slab pool (src/mem/)
   tree_stats* stats = nullptr;               // nullable
   std::atomic<std::uint64_t> free_pairs{0};  // tagged-pointer Treiber stack
+  std::atomic<std::uint64_t> pair_allocs{0};  // pairs this tree drew from pool
   std::uint64_t grow_threshold = 1;          // p = 1/grow_threshold; 0 = never grow
   bool reclaim = false;                      // appendix-B recycling (threshold==1 only)
 };
@@ -50,14 +51,19 @@ class alignas(cache_line_size) node {
   node(const node&) = delete;
   node& operator=(const node&) = delete;
 
-  // (Re)initializes this node as a fresh zero-surplus member of `ctx`'s tree.
-  // `parent == nullptr` means the parent is the tree root. Non-concurrent.
+  // (Re)initializes this node as a fresh zero-surplus member of `ctx`'s
+  // tree. `parent == nullptr` means the parent is the tree root. No reader
+  // synchronizes on these fields directly (handle transfer orders through
+  // children_/the engine); a stale reader racing a pooled pair's re-init
+  // observes the SAME values (a pair is always re-init'ed under the same
+  // parent/tree while any such reader can exist), so the fields are relaxed
+  // atomics to make that benign race exact.
   void init(node* parent, child_pair* self_pair, tree_context* ctx) noexcept {
     cv_.store(pack(0, 0), std::memory_order_relaxed);
     children_.store(nullptr, std::memory_order_relaxed);
-    parent_ = parent;
-    self_pair_ = self_pair;
-    ctx_ = ctx;
+    parent_.store(parent, std::memory_order_relaxed);
+    self_pair_.store(self_pair, std::memory_order_relaxed);
+    ctx_.store(ctx, std::memory_order_relaxed);
     ops_.store(0, std::memory_order_relaxed);
   }
 
@@ -78,7 +84,7 @@ class alignas(cache_line_size) node {
   // No-op unless the tree reclaims. Never races with a depart-side retire:
   // those require a prior arrive, which makes version() nonzero.
   void retire_if_unused() noexcept {
-    if (ctx_->reclaim && surplus_half() == 0 && version() == 0 &&
+    if (context()->reclaim && surplus_half() == 0 && version() == 0 &&
         !has_children()) {
       retire();
     }
@@ -87,7 +93,9 @@ class alignas(cache_line_size) node {
   // Dynamic-SNZI grow (paper Figure 2). Returns this node's children,
   // creating them (coin-flip permitting) if absent; returns (this, this)
   // when the node remains childless.
-  std::pair<node*, node*> grow() noexcept { return grow(ctx_->grow_threshold); }
+  std::pair<node*, node*> grow() noexcept {
+    return grow(context()->grow_threshold);
+  }
   std::pair<node*, node*> grow(std::uint64_t threshold) noexcept;
 
   // --- introspection (tests / space accounting) ---
@@ -97,8 +105,12 @@ class alignas(cache_line_size) node {
   child_pair* children() const noexcept {
     return children_.load(std::memory_order_acquire);
   }
-  node* parent() const noexcept { return parent_; }
-  tree_context* context() const noexcept { return ctx_; }
+  node* parent() const noexcept {
+    return parent_.load(std::memory_order_relaxed);
+  }
+  tree_context* context() const noexcept {
+    return ctx_.load(std::memory_order_relaxed);
+  }
   // Surplus in half units: 0 = zero, 1 = the transient 1/2 state, 2k = k.
   std::uint32_t surplus_half() const noexcept {
     return half_of(cv_.load(std::memory_order_acquire));
@@ -123,14 +135,17 @@ class alignas(cache_line_size) node {
   bool depart_parent() noexcept;
   void retire() noexcept;
   void visit() noexcept {
-    if (ctx_->stats != nullptr) ops_.fetch_add(1, std::memory_order_relaxed);
+    if (context()->stats != nullptr) {
+      ops_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   std::atomic<std::uint64_t> cv_{0};
   std::atomic<child_pair*> children_{nullptr};
-  node* parent_ = nullptr;         // nullptr => parent is ctx_->root
-  child_pair* self_pair_ = nullptr;  // pair containing this node; nullptr for base
-  tree_context* ctx_ = nullptr;
+  // Relaxed atomics per init()'s comment; nullptr parent => ctx root.
+  std::atomic<node*> parent_{nullptr};
+  std::atomic<child_pair*> self_pair_{nullptr};  // nullptr for the base node
+  std::atomic<tree_context*> ctx_{nullptr};
   std::atomic<std::uint32_t> ops_{0};  // instrumentation only
 };
 
@@ -151,5 +166,12 @@ struct child_pair {
 void free_pair_push(tree_context& ctx, child_pair* pair) noexcept;
 child_pair* free_pair_pop(tree_context& ctx) noexcept;
 std::size_t free_pair_count(const tree_context& ctx) noexcept;
+
+// THE child-pair pool of a registry — the single definition of its
+// (name, geometry) identity, shared by every call site so trees and
+// counter factories can never diverge onto disjoint pools.
+inline object_pool& child_pair_pool(pool_registry& pools) {
+  return pools.get("snzi_pair", sizeof(child_pair), alignof(child_pair));
+}
 
 }  // namespace spdag::snzi

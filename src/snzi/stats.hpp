@@ -22,7 +22,7 @@ struct tree_stats {
   std::atomic<std::uint64_t> cas_failures{0};     // failed CAS attempts anywhere
   std::atomic<std::uint64_t> undo_departs{0};     // helper arrivals undone (orig. SNZI)
   std::atomic<std::uint64_t> grow_calls{0};
-  std::atomic<std::uint64_t> grow_allocs{0};      // fresh child pairs from the arena
+  std::atomic<std::uint64_t> grow_allocs{0};      // fresh child pairs from the slab pool
   std::atomic<std::uint64_t> grow_reuses{0};      // child pairs recycled from the pool
   std::atomic<std::uint64_t> grow_lost_races{0};  // allocated a pair but lost the CAS
   std::atomic<std::uint64_t> grow_childless{0};   // grow() returned (a, a)

@@ -5,9 +5,11 @@
 namespace spdag::snzi {
 
 snzi_tree::snzi_tree(std::uint64_t initial_surplus, tree_config cfg)
-    : arena_(cfg.arena_chunk_bytes), root_(0, cfg.stats) {
+    : root_(0, cfg.stats) {
   ctx_.root = &root_;
-  ctx_.arena = &arena_;
+  ctx_.pairs = cfg.pairs != nullptr
+                   ? cfg.pairs
+                   : &child_pair_pool(default_pool_registry());
   ctx_.stats = cfg.stats;
   ctx_.grow_threshold = cfg.grow_threshold;
   ctx_.reclaim = cfg.reclaim && cfg.grow_threshold == 1;
@@ -15,12 +17,34 @@ snzi_tree::snzi_tree(std::uint64_t initial_surplus, tree_config cfg)
   for (std::uint64_t i = 0; i < initial_surplus; ++i) base_.arrive();
 }
 
-void snzi_tree::reset(std::uint64_t initial_surplus) {
-  // Forget every node: the recycling pool holds pointers into the arena, so
-  // it must be cleared before the arena is rewound.
-  while (free_pair_pop(ctx_) != nullptr) {
+snzi_tree::~snzi_tree() {
+  release_subtree(base_);
+  while (child_pair* pair = free_pair_pop(ctx_)) {
+    pool_delete(*ctx_.pairs, pair);
   }
-  arena_.reset_nonconcurrent();
+}
+
+void snzi_tree::park_subtree(node& n) {
+  if (child_pair* kids = n.children()) {
+    park_subtree(kids->left);
+    park_subtree(kids->right);
+    free_pair_push(ctx_, kids);
+  }
+}
+
+void snzi_tree::release_subtree(node& n) {
+  if (child_pair* kids = n.children()) {
+    release_subtree(kids->left);
+    release_subtree(kids->right);
+    pool_delete(*ctx_.pairs, kids);
+  }
+}
+
+void snzi_tree::reset(std::uint64_t initial_surplus) {
+  // Park every reachable pair on the free list: the next generation's grows
+  // reuse them, so a pooled counter keeps its working set without touching
+  // the shared slab pool (the reuse the old arena rewind provided).
+  park_subtree(base_);
   root_.reset(0);
   base_.init(nullptr, nullptr, &ctx_);
   for (std::uint64_t i = 0; i < initial_surplus; ++i) base_.arrive();

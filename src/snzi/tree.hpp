@@ -1,11 +1,14 @@
 #pragma once
 // snzi_tree: a complete dynamic SNZI object (paper section 2).
 //
-// Owns the root (indicator), a single *base* hierarchical node that serves as
-// the initial handle target, the arena all child pairs are carved from, and
-// the recycling pool. The analysis in the paper (section 4) starts from
-// exactly this shape: "this finish vertex has a single SNZI node as the root
-// of its in-counter".
+// Owns the root (indicator), a single *base* hierarchical node that serves
+// as the initial handle target, and the recycling pool. Child pairs are
+// drawn from a shared slab pool (src/mem/) — "snzi_pair" in the runtime's
+// pool registry — and parked on the tree-local free list across reset()
+// generations, so a pooled counter keeps its working set exactly as it did
+// with the old per-tree arena. The analysis in the paper (section 4) starts
+// from exactly this shape: "this finish vertex has a single SNZI node as
+// the root of its in-counter".
 
 #include <cstdint>
 #include <utility>
@@ -13,7 +16,6 @@
 #include "snzi/node.hpp"
 #include "snzi/root.hpp"
 #include "snzi/stats.hpp"
-#include "util/arena.hpp"
 
 namespace spdag::snzi {
 
@@ -24,7 +26,9 @@ struct tree_config {
   // Recycle drained child pairs (appendix B). Only sound with threshold 1.
   bool reclaim = false;
   tree_stats* stats = nullptr;
-  std::size_t arena_chunk_bytes = 1 << 13;
+  // Pool child pairs come from; null = the default registry's snzi_pair
+  // pool. Borrowed, must outlive the tree.
+  object_pool* pairs = nullptr;
 };
 
 class snzi_tree {
@@ -33,6 +37,9 @@ class snzi_tree {
 
   snzi_tree(const snzi_tree&) = delete;
   snzi_tree& operator=(const snzi_tree&) = delete;
+
+  // Returns every pair — reachable or free-listed — to the slab pool.
+  ~snzi_tree();
 
   // The node new handles start at.
   node* base() noexcept { return &base_; }
@@ -51,8 +58,9 @@ class snzi_tree {
   void set_grow_threshold(std::uint64_t t) noexcept { ctx_.grow_threshold = t; }
   tree_stats* stats() const noexcept { return ctx_.stats; }
 
-  // Non-concurrent reinitialization for object pooling: keeps the arena's
-  // memory but forgets all nodes.
+  // Non-concurrent reinitialization for object pooling: parks every
+  // reachable pair on the tree-local free list (keeping the working set)
+  // and forgets the structure.
   void reset(std::uint64_t initial_surplus);
 
   // --- non-concurrent introspection (tests, space accounting) ---
@@ -60,7 +68,13 @@ class snzi_tree {
   std::size_t max_depth() const;          // base = depth 0
   std::uint32_t max_node_ops() const;     // max ops_ over reachable nodes
   std::size_t recycled_pool_size() const { return free_pair_count(ctx_); }
-  std::size_t arena_bytes() const { return arena_.bytes_allocated(); }
+  // Bytes of pairs this tree ever drew from the slab pool; constant across
+  // reset() generations once the working set is parked (the reuse invariant
+  // the old arena's bytes_allocated() tracked).
+  std::size_t allocated_bytes() const {
+    return ctx_.pair_allocs.load(std::memory_order_relaxed) *
+           sizeof(child_pair);
+  }
 
   // Visits every reachable node (pre-order), f(node&, depth).
   template <typename F>
@@ -78,7 +92,11 @@ class snzi_tree {
     }
   }
 
-  block_arena arena_;
+  // reset() helper: pushes every pair under n onto the free list.
+  void park_subtree(node& n);
+  // Destructor helper: returns every pair under n to the slab pool.
+  void release_subtree(node& n);
+
   root_node root_;
   tree_context ctx_;
   node base_;

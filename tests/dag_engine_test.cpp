@@ -18,11 +18,14 @@ namespace {
 
 class DagEngineTest : public ::testing::TestWithParam<std::string> {
  protected:
+  // Each fixture owns its pool registry so the cached-cell assertions below
+  // see only this engine's traffic (the default registry is process-wide).
   DagEngineTest()
       : factory_(make_counter_factory(GetParam())),
-        engine_(*factory_, exec_) {}
+        engine_(*factory_, exec_, {.pools = &pools_}) {}
 
   serial_executor exec_;
+  slab_pool_registry pools_;
   std::unique_ptr<counter_factory> factory_;
   dag_engine engine_;
 };
@@ -153,11 +156,13 @@ TEST_P(DagEngineTest, VertexPoolIsReusedAcrossRuns) {
     engine_.add(final_v);
     exec_.run_all(engine_);
   }
-  // 3 runs x 4 vertices each, but the pool caps distinct allocations at one
-  // run's worth.
+  // 3 runs x 4 vertices each, but the pool caps distinct cells at one
+  // magazine refill batch — reuse, not growth, across runs.
   EXPECT_EQ(engine_.stats().vertices_created.load(), 12u);
-  EXPECT_LE(engine_.pooled_vertices(), 4u);
+  EXPECT_LE(engine_.pooled_vertices(), 16u);
   EXPECT_EQ(engine_.live_vertices(), 0u);
+  const pool_stats vp = pools_.totals();
+  EXPECT_GT(vp.recycles, 0u) << "later runs must reuse recycled cells";
 }
 
 TEST_P(DagEngineTest, CounterObjectsAreRecycledThroughFactory) {

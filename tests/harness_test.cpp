@@ -84,6 +84,47 @@ TEST(RunConfig, RejectsUnknownWorkload) {
   EXPECT_THROW(run_config(cfg), std::invalid_argument);
 }
 
+TEST(RunConfig, ChurnWorkloadSurfacesPoolStats) {
+  bench_config cfg;
+  cfg.workload = "churn";
+  cfg.algo = "dyn";
+  cfg.workers = 1;
+  cfg.n = 1 << 9;
+  cfg.repetitions = 2;
+  cfg.alloc = "pool";
+  const bench_result r = run_config(cfg);
+  EXPECT_GT(r.ops_per_s, 0.0);
+  ASSERT_FALSE(r.pools.empty()) << "run_config must snapshot the registry";
+  std::uint64_t allocs = 0;
+  bool saw_future_state = false;
+  for (const auto& row : r.pools) {
+    allocs += row.stats.allocs;
+    saw_future_state |= row.name.rfind("future_state", 0) == 0;
+  }
+  EXPECT_GT(allocs, 0u);
+  EXPECT_TRUE(saw_future_state);
+  // The warm-up run carved the slabs; the measured runs must not grow them
+  // (the same steady-state claim bench/future_churn makes, single worker
+  // here so magazine contents cannot migrate between runs).
+  EXPECT_EQ(r.measured_slab_growths, 0u);
+}
+
+TEST(RunConfig, MallocAllocSpecCountsEveryUpstreamTrip) {
+  bench_config cfg;
+  cfg.workload = "churn";
+  cfg.algo = "faa";
+  cfg.workers = 1;
+  cfg.n = 1 << 8;
+  cfg.repetitions = 1;
+  cfg.alloc = "malloc";
+  const bench_result r = run_config(cfg);
+  pool_stats totals;
+  for (const auto& row : r.pools) totals += row.stats;
+  EXPECT_EQ(totals.slab_growths, totals.allocs)
+      << "under alloc:malloc every allocation is an upstream trip";
+  EXPECT_GT(r.measured_slab_growths, 0u);
+}
+
 TEST(CounterOps, MatchesReportingConvention) {
   EXPECT_EQ(counter_ops(1), 2u);
   EXPECT_EQ(counter_ops(1 << 20), 2ull << 20);

@@ -74,15 +74,15 @@ TEST(Incounter, ResetReusesArenaMemory) {
   arrive_result r = ic.arrive(ic.root_token(), true);
   ic.depart(r.dec);
   ic.depart(ic.root_token());
-  const std::size_t bytes = ic.tree().arena_bytes();
+  const std::size_t bytes = ic.tree().allocated_bytes();
   for (int round = 0; round < 100; ++round) {
     ic.reset(1);
     r = ic.arrive(ic.root_token(), true);
     ic.depart(r.dec);
     EXPECT_TRUE(ic.depart(ic.root_token()));
   }
-  EXPECT_EQ(ic.tree().arena_bytes(), bytes)
-      << "reset must rewind the arena, not grow it";
+  EXPECT_EQ(ic.tree().allocated_bytes(), bytes)
+      << "reset must reuse the parked working set, not grow it";
 }
 
 // --- Corollary 4.7: an increment invokes at most 3 arrives (p = 1). ---

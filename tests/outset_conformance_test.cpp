@@ -47,7 +47,13 @@ struct delivery_log {
 
 class OutsetConformance : public ::testing::TestWithParam<std::string> {
  protected:
-  void SetUp() override { factory_ = make_outset_factory(GetParam()); }
+  // Each fixture owns its pool registry so carved-cell counts below see
+  // only this test's traffic (the default registry is process-wide).
+  void SetUp() override {
+    registry_ = std::make_unique<slab_pool_registry>();
+    factory_ = make_outset_factory(GetParam(), registry_.get());
+  }
+  std::unique_ptr<slab_pool_registry> registry_;
   std::unique_ptr<outset_factory> factory_;
 };
 
@@ -261,9 +267,52 @@ TEST(OutsetFactory, ParsesSpecs) {
   EXPECT_THROW(make_outset_factory("tree:100000"), std::invalid_argument);
 }
 
-TEST(OutsetFactory, WideFanoutGroupsFitTheArena) {
-  // Regression: a group wider than the default arena chunk must not hang
-  // block_arena::allocate (the chunk is sized up to fit one group).
+TEST(OutsetFactory, ParsesGrowthThreshold) {
+  // "tree:<fanout>:<threshold>" — the out-set analogue of "dyn:<threshold>".
+  auto damped = make_outset_factory("tree:4:100");
+  EXPECT_EQ(damped->name(), "tree:4:100");
+  auto& cfg = static_cast<tree_outset_factory&>(*damped).config();
+  EXPECT_EQ(cfg.fanout, 4u);
+  EXPECT_EQ(cfg.grow_threshold, 100u);
+  // Threshold 1 (always grow) is the default and stays out of the name.
+  EXPECT_EQ(make_outset_factory("tree:4:1")->name(), "tree:4");
+  EXPECT_EQ(make_outset_factory("outset:tree:2:50")->name(), "tree:2:50");
+  EXPECT_THROW(make_outset_factory("tree:1:50"), std::invalid_argument);
+  // Strict numeric fields: negatives must not wrap, garbage must not parse.
+  EXPECT_THROW(make_outset_factory("tree:4:-1"), std::invalid_argument);
+  EXPECT_THROW(make_outset_factory("tree:4:50x"), std::invalid_argument);
+  EXPECT_THROW(make_outset_factory("tree:4x"), std::invalid_argument);
+  EXPECT_THROW(make_outset_factory("tree:4:"), std::invalid_argument);
+}
+
+TEST(TreeOutset, ThresholdZeroNeverGrows) {
+  // The degenerate damping setting: collided adds always stay and fight on
+  // the base line, so the tree behaves like simple_outset structurally.
+  tree_outset_config cfg;
+  cfg.grow_threshold = 0;
+  tree_outset o(cfg);
+  simple_outset_factory pool;
+  constexpr int kThreads = 4;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> adders;
+  for (int t = 0; t < kThreads; ++t) {
+    adders.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(o.add(pool.acquire_waiter(
+            fake_consumer(static_cast<std::size_t>(t) * 2000 + i), nullptr)));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : adders) th.join();
+  EXPECT_EQ(o.node_count(), 1u) << "threshold 0 must never install children";
+}
+
+TEST(OutsetFactory, WideFanoutGroupsFitTheSlab) {
+  // Regression: a group wider than the pool's default slab block must not
+  // break carving (the block is sized up to fit one cell).
   auto f = make_outset_factory("tree:128");
   outset* o = f->acquire();
   simple_outset_factory pool;

@@ -1,0 +1,251 @@
+// Conformance suite for the hot-path memory subsystem (src/mem/): cell
+// uniqueness and alignment, exactly-one construction/destruction per
+// object, cross-worker free correctness under raw-thread storms (run under
+// TSan in CI), steady-state slab plateau, registry keying, and spec
+// parsing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "mem/malloc_pool.hpp"
+#include "mem/registry.hpp"
+#include "mem/slab_pool.hpp"
+#include "mem/thread_slot.hpp"
+#include "util/rng.hpp"
+
+namespace spdag {
+namespace {
+
+struct counted {
+  static std::atomic<int> ctors;
+  static std::atomic<int> dtors;
+  std::uint64_t payload[3];
+  explicit counted(std::uint64_t v = 0) : payload{v, v + 1, v + 2} {
+    ctors.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~counted() { dtors.fetch_add(1, std::memory_order_relaxed); }
+};
+std::atomic<int> counted::ctors{0};
+std::atomic<int> counted::dtors{0};
+
+TEST(SlabPool, CellsAreAlignedAndDisjoint) {
+  struct alignas(64) wide { char data[96]; };
+  slab_pool<wide> pool("wide", /*slab_bytes=*/4096);
+  std::set<void*> seen;
+  std::vector<void*> cells;
+  for (int i = 0; i < 500; ++i) {
+    void* p = pool.allocate();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate live cell";
+    cells.push_back(p);
+  }
+  for (void* p : cells) pool.deallocate(p);
+  const pool_stats s = pool.stats();
+  EXPECT_EQ(s.allocs, 500u);
+  EXPECT_EQ(s.frees, 500u);
+  EXPECT_EQ(s.live(), 0u);
+  EXPECT_GT(s.slab_growths, 1u);  // 4 KiB slabs can't hold 500 wide cells
+}
+
+TEST(SlabPool, ExactlyOneConstructionAndDestructionPerObject) {
+  counted::ctors.store(0);
+  counted::dtors.store(0);
+  slab_pool<counted> pool("counted");
+  std::vector<counted*> live;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      counted* c = pool.create(static_cast<std::uint64_t>(i));
+      ASSERT_EQ(c->payload[2], static_cast<std::uint64_t>(i) + 2)
+          << "recycled cell must be freshly constructed";
+      live.push_back(c);
+    }
+    for (counted* c : live) pool.destroy(c);
+    live.clear();
+  }
+  EXPECT_EQ(counted::ctors.load(), 300);
+  EXPECT_EQ(counted::dtors.load(), 300);
+  EXPECT_EQ(pool.stats().live(), 0u);
+}
+
+TEST(SlabPool, SteadyStateChurnStopsGrowingSlabs) {
+  slab_pool<counted> pool("steady");
+  auto churn = [&] {
+    std::vector<counted*> batch;
+    for (int i = 0; i < 200; ++i) batch.push_back(pool.create());
+    for (counted* c : batch) pool.destroy(c);
+  };
+  churn();  // warm-up carves the working set
+  const pool_stats warm = pool.stats();
+  for (int round = 0; round < 50; ++round) churn();
+  const pool_stats after = pool.stats();
+  EXPECT_EQ(after.slab_growths, warm.slab_growths)
+      << "steady-state churn must not touch the upstream allocator";
+  EXPECT_EQ(after.carved, warm.carved);
+  EXPECT_GT(after.allocs, warm.allocs);
+  EXPECT_GT(after.recycles, warm.recycles);
+}
+
+// The conformance storm: raw threads allocate and free at random, with a
+// share of cells handed to ANOTHER thread for freeing (the cross-worker
+// path future completion exercises). Conservation must hold exactly.
+TEST(SlabPool, CrossThreadAllocFreeStorm) {
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  slab_pool<counted> pool("storm");
+  counted::ctors.store(0);
+  counted::dtors.store(0);
+
+  // One locked handoff queue per thread; thread t frees what lands in
+  // queue t, regardless of who allocated it.
+  struct handoff {
+    std::mutex mu;
+    std::deque<counted*> q;
+  };
+  std::vector<handoff> queues(kThreads);
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+
+  auto worker = [&](int me) {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    std::vector<counted*> mine;
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const std::uint64_t dice = thread_rng().below(4);
+      if (dice == 0 && !mine.empty()) {
+        pool.destroy(mine.back());  // local free
+        mine.pop_back();
+      } else if (dice == 1) {
+        // Hand a cell to a neighbor for a cross-thread free.
+        counted* c = pool.create();
+        handoff& h = queues[(me + 1) % kThreads];
+        std::lock_guard<std::mutex> lock(h.mu);
+        h.q.push_back(c);
+      } else if (dice == 2) {
+        counted* c = nullptr;
+        {
+          handoff& h = queues[me];
+          std::lock_guard<std::mutex> lock(h.mu);
+          if (!h.q.empty()) {
+            c = h.q.front();
+            h.q.pop_front();
+          }
+        }
+        if (c != nullptr) pool.destroy(c);  // remote free
+      } else {
+        mine.push_back(pool.create());
+      }
+    }
+    for (counted* c : mine) pool.destroy(c);
+    done.fetch_add(1, std::memory_order_release);
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(done.load(), kThreads);
+  // Drain the stranded handoffs from the main thread (another remote free).
+  for (auto& h : queues) {
+    for (counted* c : h.q) pool.destroy(c);
+    h.q.clear();
+  }
+
+  const pool_stats s = pool.stats();
+  EXPECT_EQ(counted::ctors.load(), counted::dtors.load());
+  EXPECT_EQ(s.allocs, s.frees);
+  EXPECT_EQ(s.live(), 0u);
+  EXPECT_EQ(s.allocs, static_cast<std::uint64_t>(counted::ctors.load()));
+  EXPECT_GT(s.remote_frees, 0u) << "the storm must exercise cross-worker frees";
+  // Every cell that was ever carved is now cached for reuse, none leaked.
+  EXPECT_EQ(s.cached(), s.carved);
+}
+
+TEST(SlabPool, OversubscribedThreadsFallBackToGlobalList) {
+  // More threads than there are magazine slots cannot be spawned cheaply,
+  // so exercise the bypass path directly through its primitive: a pool
+  // whose user threads outnumber slots still conserves cells because the
+  // bypass goes through the same stamped cells and global list. Here we
+  // just verify heavy short-lived-thread traffic conserves.
+  slab_pool<counted> pool("threads");
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&pool] {
+        std::vector<counted*> mine;
+        for (int i = 0; i < 200; ++i) mine.push_back(pool.create());
+        for (counted* c : mine) pool.destroy(c);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const pool_stats s = pool.stats();
+  EXPECT_EQ(s.allocs, s.frees);
+  EXPECT_EQ(s.live(), 0u);
+  EXPECT_LE(mem::claimed_thread_slots(), mem::max_thread_slots);
+}
+
+TEST(MallocPool, CountsEveryTripUpstream) {
+  malloc_pool pool("baseline", sizeof(counted), alignof(counted));
+  std::vector<void*> cells;
+  for (int i = 0; i < 64; ++i) cells.push_back(pool.allocate());
+  for (void* p : cells) pool.deallocate(p);
+  const pool_stats s = pool.stats();
+  EXPECT_EQ(s.allocs, 64u);
+  EXPECT_EQ(s.frees, 64u);
+  EXPECT_EQ(s.slab_growths, 64u) << "every malloc alloc is an upstream trip";
+  EXPECT_EQ(s.recycles, 0u);
+}
+
+TEST(PoolRegistry, KeysByNameSizeAndAlignment) {
+  slab_pool_registry reg;
+  object_pool& a = reg.get("future_state", 48, 8);
+  object_pool& b = reg.get("future_state", 48, 8);
+  object_pool& c = reg.get("future_state", 64, 8);
+  object_pool& d = reg.get("vertex", 48, 8);
+  object_pool& e = reg.get("future_state", 48, 16);
+  EXPECT_EQ(&a, &b) << "same name+size+align must be one pool";
+  EXPECT_NE(&a, &c) << "same name, different size: distinct pools";
+  EXPECT_NE(&a, &d);
+  EXPECT_NE(&a, &e) << "stricter alignment must get its own (aligned) pool";
+  EXPECT_EQ(e.object_align(), 16u);
+  EXPECT_EQ(a.name(), "future_state:48:a8");
+  EXPECT_EQ(reg.rows().size(), 4u);
+}
+
+TEST(PoolRegistry, SpecParsing) {
+  EXPECT_EQ(make_pool_registry("malloc")->spec(), "malloc");
+  EXPECT_EQ(make_pool_registry("alloc:malloc")->spec(), "malloc");
+  EXPECT_EQ(make_pool_registry("pool")->spec(), "pool");
+  EXPECT_EQ(make_pool_registry("pool:65536")->spec(), "pool:65536");
+  EXPECT_EQ(make_pool_registry("alloc:pool:8192")->spec(), "pool:8192");
+  EXPECT_THROW(make_pool_registry("bogus"), std::invalid_argument);
+  EXPECT_THROW(make_pool_registry("pool:64"), std::invalid_argument);
+  EXPECT_THROW(make_pool_registry("pool:999999999"), std::invalid_argument);
+  // Strict numeric fields: overflow and trailing garbage are invalid, not
+  // out_of_range or silently truncated.
+  EXPECT_THROW(make_pool_registry("pool:99999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(make_pool_registry("pool:8192kb"), std::invalid_argument);
+  EXPECT_THROW(make_pool_registry("pool:-8192"), std::invalid_argument);
+  EXPECT_THROW(make_pool_registry("pool:"), std::invalid_argument);
+}
+
+TEST(PoolRegistry, MallocRegistryServesWorkingPools) {
+  auto reg = make_pool_registry("malloc");
+  object_pool& p = reg->get("x", 32, 8);
+  void* a = p.allocate();
+  ASSERT_NE(a, nullptr);
+  p.deallocate(a);
+  EXPECT_EQ(reg->totals().allocs, 1u);
+}
+
+}  // namespace
+}  // namespace spdag

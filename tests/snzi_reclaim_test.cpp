@@ -60,7 +60,7 @@ TEST(SnziReclaim, GrowPrefersRecycledPairs) {
   (void)d;
   EXPECT_EQ(stats.grow_reuses.load(), 1u);
   EXPECT_EQ(t.recycled_pool_size(), 0u);
-  EXPECT_EQ(stats.grow_allocs.load(), 1u) << "only the first grow hit the arena";
+  EXPECT_EQ(stats.grow_allocs.load(), 1u) << "only the first grow drew from the pool";
 }
 
 TEST(SnziReclaim, RecycledNodesComeBackClean) {
@@ -171,7 +171,7 @@ TEST(SnziReclaimConcurrent, ChurnThroughRecyclingStaysSound) {
   l->depart();
   EXPECT_TRUE(r->depart());
   EXPECT_FALSE(t.query());
-  // Recycling kept the arena bounded: at most a handful of pairs ever
+  // Recycling kept allocation bounded: at most a handful of pairs ever
   // existed despite 2 * kIters grow/drain cycles.
   EXPECT_GE(stats.grow_reuses.load(), stats.grow_allocs.load());
   EXPECT_LT(stats.grow_allocs.load(), 64u);
@@ -227,7 +227,7 @@ TEST(SnziReclaim, RetireIfUnusedIsNoopWithoutReclaim) {
 
 TEST(SnziReclaim, SpaceStaysBoundedOverManyCycles) {
   snzi_tree t(0, reclaiming());
-  const std::size_t before = t.arena_bytes();
+  const std::size_t before = t.allocated_bytes();
   for (int i = 0; i < 10000; ++i) {
     auto [a, b] = t.base()->grow(1);
     a->arrive();
@@ -236,7 +236,7 @@ TEST(SnziReclaim, SpaceStaysBoundedOverManyCycles) {
     b->depart();
   }
   // One pair allocated once, then recycled forever.
-  EXPECT_LE(t.arena_bytes(), before + 4 * sizeof(child_pair));
+  EXPECT_LE(t.allocated_bytes(), before + 4 * sizeof(child_pair));
 }
 
 }  // namespace

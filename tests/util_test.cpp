@@ -1,4 +1,4 @@
-// Tests for the util substrate: inline_function, RNG, arena, Treiber stack,
+// Tests for the util substrate: inline_function, RNG, Treiber stack,
 // spin barrier, CLI options, statistics, dummy work.
 
 #include <gtest/gtest.h>
@@ -10,7 +10,6 @@
 #include <thread>
 #include <vector>
 
-#include "util/arena.hpp"
 #include "util/cache_aligned.hpp"
 #include "util/cli.hpp"
 #include "util/dummy_work.hpp"
@@ -141,65 +140,6 @@ TEST(Rng, ThreadLocalStreamsAreIndependent) {
   std::thread t([&first_other] { first_other = thread_rng()(); });
   t.join();
   EXPECT_NE(first_main, first_other);
-}
-
-// --- arena ---
-
-TEST(Arena, AllocationsAreAlignedAndDisjoint) {
-  block_arena arena(1 << 12);
-  std::set<void*> seen;
-  for (int i = 0; i < 500; ++i) {
-    void* p = arena.allocate(40, 64);
-    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
-    EXPECT_TRUE(seen.insert(p).second) << "duplicate allocation";
-  }
-}
-
-TEST(Arena, GrowsChunksOnDemand) {
-  block_arena arena(256);
-  for (int i = 0; i < 100; ++i) arena.allocate(64, 64);
-  EXPECT_GT(arena.chunk_count(), 1u);
-}
-
-TEST(Arena, CreateConstructsObjects) {
-  block_arena arena;
-  auto* v = arena.create<std::vector<int>>(5, 7);
-  EXPECT_EQ(v->size(), 5u);
-  EXPECT_EQ((*v)[0], 7);
-  v->~vector();  // arena does not run destructors
-}
-
-TEST(Arena, ResetRewindsWithoutFreeingHead) {
-  block_arena arena(1 << 12);
-  for (int i = 0; i < 200; ++i) arena.allocate(64, 64);
-  arena.reset_nonconcurrent();
-  EXPECT_EQ(arena.chunk_count(), 1u);
-  EXPECT_EQ(arena.bytes_allocated(), 0u);
-  void* p = arena.allocate(64, 64);
-  EXPECT_NE(p, nullptr);
-}
-
-TEST(Arena, ConcurrentAllocationsDoNotCollide) {
-  block_arena arena(1 << 12);
-  constexpr int kThreads = 8;
-  constexpr int kAllocs = 2000;
-  std::vector<std::vector<void*>> out(kThreads);
-  std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&arena, &out, t] {
-      for (int i = 0; i < kAllocs; ++i) {
-        void* p = arena.allocate(48, 16);
-        std::memset(p, t, 48);  // scribble: overlaps would corrupt
-        out[static_cast<size_t>(t)].push_back(p);
-      }
-    });
-  }
-  for (auto& th : threads) th.join();
-  std::set<void*> all;
-  for (const auto& v : out) {
-    for (void* p : v) EXPECT_TRUE(all.insert(p).second) << "overlapping allocation";
-  }
-  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kAllocs);
 }
 
 // --- Treiber stack ---
