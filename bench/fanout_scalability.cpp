@@ -11,14 +11,29 @@
 // separate onto disjoint cache lines after O(log c) collisions), the exact
 // fan-out analogue of Fetch & Add vs the in-counter in Figure 8.
 //
+// Deep-tree broadcast mode (the parallel-finalize acceptance bench): the
+// "fanout_deep/..." configs use the scatter spec ("tree:2:1:<depth>") so
+// every registration dives <depth> levels before its first CAS,
+// deterministically building the deep, wide tree that contention would on a
+// many-core box. The metric there is `lat_ms` — finalize-to-last-delivery
+// wall time — plus `subtrees_offloaded` (finalize work units handed to the
+// executor's drain lane) and `drains_stolen` (how many ran on a worker
+// other than the enqueuer). With >= 2 workers a deep run that offloads
+// nothing is an error (the drain machinery went dark), and CI smoke-runs
+// exactly that configuration.
+//
 // Scale knobs: -n / SPDAG_N (consumer count, default 1<<15), -proc /
 // SPDAG_PROC (max workers), -runs / SPDAG_RUNS, -prodns / SPDAG_PRODNS
 // (producer busy-work in ns; default scales with n so registrations pile up
-// against the still-pending future instead of taking the ready bypass).
+// against the still-pending future instead of taking the ready bypass),
+// -deep / SPDAG_DEEP (scatter depth of the deep-tree mode, default 8;
+// 0 disables those configs).
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -32,6 +47,11 @@
 namespace {
 
 using namespace spdag;
+
+// Set when a deep-mode run trips the drain-machinery guard. SkipWithError
+// only annotates the report (the benchmark process still exits 0), so CI
+// needs this flag to turn the guard into a red build.
+std::atomic<bool> g_deep_drain_dark{false};
 
 void register_config(const std::string& outset_spec, std::size_t workers,
                      std::uint64_t n, std::uint64_t producer_ns, int runs) {
@@ -68,8 +88,67 @@ void register_config(const std::string& outset_spec, std::size_t workers,
     // denominator both accumulate over the same iterations.
     const double attempts = adds + rejected;
     st.counters["rejected/add"] = attempts > 0 ? rejected / attempts : 0.0;
+    st.counters["subtrees_offloaded"] = static_cast<double>(
+        after.subtrees_offloaded - before.subtrees_offloaded);
     if (delivered_sum != st.iterations() * n) {
       st.SkipWithError("exactly-once delivery violated");
+    }
+  })
+      ->UseManualTime()
+      ->Iterations(runs);
+}
+
+// Deep-tree broadcast mode: scatter-forced depth, latency-instrumented
+// workload, parallel-drain counters.
+void register_deep_config(const std::string& outset_spec, std::size_t workers,
+                          std::uint64_t n, std::uint64_t producer_ns,
+                          int runs) {
+  const std::string name =
+      "fanout_deep/" + outset_spec + "/proc:" + std::to_string(workers);
+  benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+    runtime_config cfg{workers, "dyn"};
+    cfg.outset = outset_spec;
+    runtime rt(cfg);
+    harness::fanout_timed(rt, n, 0, producer_ns, nullptr);  // warm-up
+    const outset_totals before = rt.outsets().totals();
+    const scheduler_totals sched_before = rt.sched().totals();
+    std::uint64_t delivered_sum = 0;
+    double lat_sum_s = 0;
+    for (auto _ : st) {
+      harness::fanout_timing timing;
+      wall_timer t;
+      delivered_sum += harness::fanout_timed(rt, n, 0, producer_ns, &timing);
+      st.SetIterationTime(t.elapsed_s());
+      lat_sum_s += timing.finalize_to_last_s;
+    }
+    const outset_totals after = rt.outsets().totals();
+    const scheduler_totals sched_after = rt.sched().totals();
+    const double offloaded = static_cast<double>(after.subtrees_offloaded -
+                                                 before.subtrees_offloaded);
+    const double captured = static_cast<double>(after.adds - before.adds);
+    // The headline: how long the completing future took to reach its LAST
+    // consumer, mean over iterations.
+    st.counters["lat_ms"] =
+        st.iterations() > 0
+            ? lat_sum_s * 1e3 / static_cast<double>(st.iterations())
+            : 0.0;
+    st.counters["subtrees_offloaded"] = offloaded;
+    st.counters["drains_stolen"] = static_cast<double>(
+        sched_after.drains_stolen - sched_before.drains_stolen);
+    st.counters["ops/s"] = benchmark::Counter(
+        static_cast<double>(harness::outset_ops(n)),
+        benchmark::Counter::kIsIterationInvariantRate);
+    if (delivered_sum != st.iterations() * n) {
+      st.SkipWithError("exactly-once delivery violated");
+    }
+    // Captured scatter-deep registrations imply grown groups, and grown
+    // groups must be offloaded — unless the drain machinery went dark. A
+    // run where every consumer took the ready bypass (n=0, or a producer
+    // that finished before the wave) proves nothing and is not an error.
+    if (workers >= 2 && captured > 0 && offloaded == 0) {
+      g_deep_drain_dark.store(true, std::memory_order_relaxed);
+      st.SkipWithError(
+          "deep-tree finalize offloaded no subtrees: parallel drain is dark");
     }
   })
       ->UseManualTime()
@@ -86,20 +165,59 @@ int main(int argc, char** argv) {
   const std::uint64_t producer_ns = static_cast<std::uint64_t>(
       opts.get_int("prodns", static_cast<std::int64_t>(common.n * 25)));
 
+  // Scatter depth of the deep-tree mode; 0 = skip it. Validated here so a
+  // bad value is a clean CLI error, not an uncaught throw mid-sweep from
+  // the runtime constructor inside a benchmark lambda.
+  const std::int64_t deep_raw = opts.get_int("deep", 8);
+  const std::uint32_t depth_cap = tree_outset_config{}.max_depth;
+  if (deep_raw < 0 || deep_raw > static_cast<std::int64_t>(depth_cap)) {
+    std::fprintf(stderr,
+                 "bad -deep %lld: must be in [0, %u] (0 disables the "
+                 "deep-tree mode)\n",
+                 static_cast<long long>(deep_raw), depth_cap);
+    return 2;
+  }
+  const std::uint64_t deep = static_cast<std::uint64_t>(deep_raw);
+
   const std::vector<std::string> algos{"simple", "tree", "tree:4"};
   for (const auto& algo : algos) {
     for (std::size_t p : harness::worker_sweep(common.max_proc)) {
       register_config(algo, p, common.n, producer_ns, common.runs);
     }
   }
+  if (deep > 0) {
+    const std::string deep_spec = "tree:2:1:" + std::to_string(deep);
+    for (std::size_t p : harness::worker_sweep(common.max_proc)) {
+      register_deep_config(deep_spec, p, common.n, producer_ns, common.runs);
+    }
+  }
 
   std::printf(
       "# fanout: 1 producer -> n consumers, n=%llu, max_proc=%zu, runs=%d, "
-      "producer_ns=%llu (dual of fig08)\n",
+      "producer_ns=%llu, deep=%llu (dual of fig08; fanout_deep = "
+      "scatter-forced tree + parallel finalize drain, metric lat_ms)\n",
       static_cast<unsigned long long>(common.n), common.max_proc, common.runs,
-      static_cast<unsigned long long>(producer_ns));
+      static_cast<unsigned long long>(producer_ns),
+      static_cast<unsigned long long>(deep));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  if (deep > 0) {
+    // Broadcast detail for one clean deep run at full width (rebuilt fresh
+    // so the counters are one run's, not the sweep's accumulation).
+    runtime_config cfg{common.max_proc, "dyn"};
+    cfg.outset = "tree:2:1:" + std::to_string(deep);
+    runtime rt(cfg);
+    harness::fanout_timed(rt, common.n, 0, producer_ns, nullptr);
+    harness::print_broadcast_stats(std::cout, rt.outsets().totals(),
+                                   rt.sched().totals());
+  }
+  if (g_deep_drain_dark.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "FAIL: deep-tree finalize offloaded no subtrees with >= 2 "
+                 "workers; the parallel drain machinery is dark\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "dag/engine.hpp"
 
 #include <cassert>
+#include <vector>
 
 #include "outset/factory.hpp"
 #include "util/rng.hpp"
@@ -10,10 +11,38 @@ namespace spdag {
 namespace {
 thread_local vertex* tls_current_vertex = nullptr;
 thread_local dag_engine* tls_current_engine = nullptr;
+// Pending drains of the thread-local inline trampoline below; non-null only
+// while a drain loop is running on this thread.
+thread_local std::vector<outset_drain_task*>* tls_drain_queue = nullptr;
 }  // namespace
 
 vertex* dag_engine::current_vertex() noexcept { return tls_current_vertex; }
 dag_engine* dag_engine::current_engine() noexcept { return tls_current_engine; }
+
+void executor::enqueue_drain(outset_drain_task* t) {
+  // Default: run on the calling thread, flattened. A running task spawns its
+  // sub-tasks back through this very function, so recursing here would
+  // rebuild the deep call stack the iterative walks just removed; instead a
+  // nested call appends to the loop already draining this thread.
+  if (tls_drain_queue != nullptr) {
+    tls_drain_queue->push_back(t);
+    return;
+  }
+  std::vector<outset_drain_task*> queue;
+  tls_drain_queue = &queue;
+  t->run();
+  while (!queue.empty()) {
+    outset_drain_task* next = queue.back();
+    queue.pop_back();
+    next->run();
+  }
+  tls_drain_queue = nullptr;
+}
+
+void dag_engine::enqueue_drain(outset_drain_task* t) {
+  stats_.drains_enqueued.fetch_add(1, std::memory_order_relaxed);
+  exec_.enqueue_drain(t);
+}
 
 dag_engine::dag_engine(counter_factory& factory, executor& exec,
                        dag_engine_options options)
@@ -98,8 +127,12 @@ token dag_engine::claim_dec(vertex* u) {
   dec_pair* p = u->dpair;
   assert(p != nullptr && "claim_dec on a vertex without a decrement pair");
   // Test-and-set: the first sibling to need a decrement handle takes t[0],
-  // the handle pointing higher in the SNZI tree (paper section 3.3). The
-  // ablation policy lets the first claimer pick a random slot instead.
+  // the handle pointing at least as high in the SNZI tree as t[1] (paper
+  // section 3.3, Lemma 4.6's ordering invariant). Callers: spawn() claims
+  // the parent's inherited handle into the new pair, and signal()/the
+  // execute() epilogue claim at depart time — execute() deliberately claims
+  // BEFORE recycling v (the handle lives in v->dpair) and departs after.
+  // The ablation policy lets the first claimer pick a random slot instead.
   const std::int8_t want =
       options_.randomize_claim_order
           ? static_cast<std::int8_t>(thread_rng()() & 1)
@@ -169,16 +202,16 @@ std::pair<vertex*, vertex*> dag_engine::spawn(vertex* u) {
   const arrive_result r = fin->counter->arrive(u->inc, u->is_left);
   dec_pair* np = nullptr;
   if (uses_tokens_) {
-    // Claim AFTER the arrive completed (the paper's key invariant), and
-    // order the pair [inherited-higher, fresh-lower].
+    // Claim AFTER the arrive completed (the paper's key invariant: the
+    // arrive pins the counter nonzero, so the claimed handle cannot watch
+    // its node phase-change out from under it), and order the pair
+    // [inherited-higher, fresh-lower]. alloc_pair sets owners=2: both
+    // children share the pair until each has claimed its slot.
     const token d1 = claim_dec(u);
     np = alloc_pair(d1, r.dec, /*owners=*/2);
   }
   vertex* v = new_vertex(fin, r.inc_left, np, 0, /*is_left=*/true);
   vertex* w = new_vertex(fin, r.inc_right, np, 0, /*is_left=*/false);
-  if (np != nullptr) {
-    // Two owners share one pair; alloc_pair set the refcount already.
-  }
   u->dead = true;
   return {v, w};
 }

@@ -20,12 +20,21 @@
 
 namespace spdag {
 
+class outset_drain_task;  // src/outset/outset.hpp
+
 // Whoever runs ready vertices (the work-stealing scheduler, or a trivial
 // serial loop in tests).
 class executor {
  public:
   virtual ~executor() = default;
   virtual void enqueue(vertex* v) = 0;
+
+  // Accepts one subtree-drain work unit from a parallel out-set finalize
+  // (see outset::finalize's drain_spawner overload). Schedulers with a
+  // stealable drain lane override; the default runs the task on the calling
+  // thread through a flattening trampoline, so even inline execution keeps
+  // the stack bounded when tasks spawn sub-tasks (engine.cpp).
+  virtual void enqueue_drain(outset_drain_task* t);
 };
 
 // Relaxed global tallies; cheap enough to keep on, and the integration tests
@@ -40,10 +49,12 @@ struct engine_stats {
   std::atomic<std::uint64_t> pairs_created{0};
   std::atomic<std::uint64_t> pairs_recycled{0};
   std::atomic<std::uint64_t> executions{0};
+  std::atomic<std::uint64_t> drains_enqueued{0};
 
   void reset() noexcept {
     for (auto* p : {&vertices_created, &vertices_recycled, &spawns, &chains,
-                    &signals, &pairs_created, &pairs_recycled, &executions}) {
+                    &signals, &pairs_created, &pairs_recycled, &executions,
+                    &drains_enqueued}) {
       p->store(0, std::memory_order_relaxed);
     }
   }
@@ -113,6 +124,11 @@ class dag_engine {
   // paper's Scheduler.add: vertices with pending dependencies are enqueued
   // later by the zeroing signal.
   void add(vertex* v);
+
+  // Hands one out-set subtree-drain work unit to the executor so an idle
+  // worker can run it (future_state::complete routes its parallel finalize
+  // through here). The executor owns the task from this point.
+  void enqueue_drain(outset_drain_task* t);
 
   // Runs v's body with this-vertex context, signals if v is not dead, and
   // recycles v. Called by the executor's workers.

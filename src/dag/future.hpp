@@ -24,7 +24,12 @@
 // returns false exactly when finalize already ran, in which case the
 // registrant schedules its own consumer. Which implementation a future uses
 // comes from its engine's outset factory (runtime_config::outset, specs
-// "outset:simple" | "outset:tree[:fanout[:threshold]]").
+// "outset:simple" | "outset:tree[:fanout[:threshold[:scatter]]]").
+// Completion under an engine uses the out-set's PARALLEL finalize: subtree
+// drains are enqueued on the engine's executor as outset_drain_tasks so
+// idle workers broadcast alongside the completing one; each task holds a
+// pinned reference on the state, so the out-set is never reset under a
+// still-running drain.
 //
 // Allocation: a future_state is one cell from the engine's pool registry
 // ("future_state" pool, one per value-type size), reference-counted
@@ -77,7 +82,14 @@ class future_state {
     // below, or a registrant whose add lost to the finalize) synchronizes
     // with this store through the out-set's sentinel or the executor queue.
     ready_.store(true, std::memory_order_release);
-    waiters_->finalize(&deliver, this);
+    if (engine != nullptr) {
+      // Parallel finalize: deep out-set subtrees become drain tasks on the
+      // engine's executor, so idle workers broadcast alongside this thread.
+      waiters_->finalize(&deliver, this, &offload_drain, this);
+    } else {
+      // No engine to schedule stolen drains on — walk serially.
+      waiters_->finalize(&deliver, this);
+    }
   }
 
   // Registers `consumer` to be enqueued on completion. If the future
@@ -116,6 +128,28 @@ class future_state {
         w->engine != nullptr ? w->engine : self->completion_engine_;
     self->outsets_->release_waiter(w);
     engine->add(consumer);
+  }
+
+  // drain_spawner for the parallel finalize: pin this state across the
+  // asynchronous drain (the task may run after the producer's own future
+  // copy died; the pin keeps the out-set un-reset and the sink ctx valid
+  // until the last drain's on_done), then hand the task to the engine.
+  static void offload_drain(void* ctx, outset_drain_task* t) {
+    auto* self = static_cast<future_state*>(ctx);
+    self->add_ref();
+    t->on_done = &drain_finished;
+    t->on_done_ctx = self;
+    self->completion_engine_->enqueue_drain(t);
+  }
+
+  static void drain_finished(void* ctx) {
+    auto* self = static_cast<future_state*>(ctx);
+    if (self->drop_ref()) {
+      // Same epilogue as future<T>::release(): the last pin to go destroys
+      // the state and returns its cell.
+      object_pool& home = self->home();
+      pool_delete(home, self);
+    }
   }
 
   outset_factory* outsets_;

@@ -55,6 +55,8 @@ bench_result run_config(const bench_config& cfg) {
   res.pools = rt.pools().rows();
   res.measured_slab_growths =
       rt.pools().totals().slab_growths - warm_growths;
+  res.outsets = rt.outsets().totals();
+  res.sched = rt.sched().totals();
   return res;
 }
 
@@ -67,6 +69,17 @@ void print_pool_stats(std::ostream& os,
        << " remote_frees=" << row.stats.remote_frees
        << " live=" << row.stats.live() << "\n";
   }
+}
+
+void print_broadcast_stats(std::ostream& os, const outset_totals& outsets,
+                           const scheduler_totals& sched) {
+  os << "# outset: adds=" << outsets.adds
+     << " delivered=" << outsets.delivered
+     << " retries=" << outsets.add_cas_retries
+     << " rejected=" << outsets.rejected_adds
+     << " subtrees_offloaded=" << outsets.subtrees_offloaded
+     << " drains_executed=" << sched.drains_executed
+     << " drains_stolen=" << sched.drains_stolen << "\n";
 }
 
 std::vector<std::size_t> worker_sweep(std::size_t max_workers, std::size_t points) {

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "mem/registry.hpp"
+#include "outset/outset.hpp"
+#include "sched/scheduler_base.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 
@@ -40,6 +42,11 @@ struct bench_result {
   // never touched malloc (the `alloc:pool` steady-state claim).
   std::vector<pool_registry_row> pools;
   std::uint64_t measured_slab_growths = 0;
+  // Broadcast-side stats over the whole config (warm-up included): the
+  // out-set totals (subtrees_offloaded = finalize work units handed off)
+  // and scheduler totals (drains_executed/drains_stolen = where they ran).
+  outset_totals outsets;
+  scheduler_totals sched;
 };
 
 // Runs one configuration to completion and returns the aggregate.
@@ -48,6 +55,11 @@ bench_result run_config(const bench_config& cfg);
 // One line per pool: allocs / recycles / slab growths / cross-worker frees.
 void print_pool_stats(std::ostream& os,
                       const std::vector<pool_registry_row>& rows);
+
+// One line of broadcast stats: adds / delivered / subtree drains offloaded
+// and where the scheduler ran them (executed / stolen by other workers).
+void print_broadcast_stats(std::ostream& os, const outset_totals& outsets,
+                           const scheduler_totals& sched);
 
 // Standard sweep values -----------------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "harness/workloads.hpp"
 
 #include <atomic>
+#include <chrono>
 
 #include "dag/future.hpp"
 #include "util/dummy_work.hpp"
@@ -38,6 +39,36 @@ void fanout_rec(future<std::uint64_t> f, std::atomic<std::uint64_t>* sum,
           [f, sum, k, work_ns] { fanout_rec(f, sum, k - k / 2, work_ns); });
   } else if (k == 1) {
     future_then(f, [sum, work_ns](std::uint64_t v) {
+      if (work_ns != 0) spin_ns(work_ns);
+      sum->fetch_add(v, std::memory_order_relaxed);
+    });
+  }
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// CAS-max: record `t` in *dest if it is the latest delivery seen so far.
+void stamp_latest(std::atomic<std::int64_t>* dest, std::int64_t t) {
+  std::int64_t prev = dest->load(std::memory_order_relaxed);
+  while (prev < t &&
+         !dest->compare_exchange_weak(prev, t, std::memory_order_relaxed)) {
+  }
+}
+
+void fanout_timed_rec(future<std::uint64_t> f, std::atomic<std::uint64_t>* sum,
+                      std::atomic<std::int64_t>* latest, std::uint64_t k,
+                      std::uint64_t work_ns) {
+  if (k >= 2) {
+    fork2([=] { fanout_timed_rec(f, sum, latest, k / 2, work_ns); },
+          [=] { fanout_timed_rec(f, sum, latest, k - k / 2, work_ns); });
+  } else if (k == 1) {
+    future_then(f, [sum, latest, work_ns](std::uint64_t v) {
+      // Stamp BEFORE the dummy work: delivery latency, not work time.
+      stamp_latest(latest, now_ns());
       if (work_ns != 0) spin_ns(work_ns);
       sum->fetch_add(v, std::memory_order_relaxed);
     });
@@ -111,6 +142,39 @@ std::uint64_t fanout(runtime& rt, std::uint64_t consumers,
           fanout_rec(f, s, consumers, work_ns);
         });
   });
+  return sum.load();
+}
+
+std::uint64_t fanout_timed(runtime& rt, std::uint64_t consumers,
+                           std::uint64_t work_ns, std::uint64_t producer_ns,
+                           fanout_timing* timing) {
+  if (work_ns != 0 || producer_ns != 0) spin_units_per_ns();
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::int64_t> t0{0};
+  std::atomic<std::int64_t> latest{0};
+  auto* s = &sum;
+  auto* t0p = &t0;
+  auto* lp = &latest;
+  // Hand-rolled fork2_future so the finalize start can be stamped
+  // immediately before complete() — the producer closure of fork2_future
+  // offers no hook there.
+  rt.run([s, t0p, lp, consumers, work_ns, producer_ns] {
+    future<std::uint64_t> f = future<std::uint64_t>::make();
+    fork2(
+        [f, t0p, producer_ns] {
+          if (producer_ns != 0) spin_ns(producer_ns);
+          t0p->store(now_ns(), std::memory_order_relaxed);
+          f.complete(1, dag_engine::current_engine());
+        },
+        [f, s, lp, consumers, work_ns] {
+          fanout_timed_rec(f, s, lp, consumers, work_ns);
+        });
+  });
+  if (timing != nullptr) {
+    const std::int64_t span = latest.load() - t0.load();
+    timing->finalize_to_last_s =
+        (consumers > 0 && span > 0) ? static_cast<double>(span) * 1e-9 : 0.0;
+  }
   return sum.load();
 }
 

@@ -35,6 +35,24 @@ void indegree2(runtime& rt, std::uint64_t n, std::uint64_t work_ns = 0);
 std::uint64_t fanout(runtime& rt, std::uint64_t consumers,
                      std::uint64_t work_ns = 0, std::uint64_t producer_ns = 0);
 
+// Timing sidecar for fanout_timed: how long the broadcast itself took.
+struct fanout_timing {
+  // Wall time from the producer's complete() call (finalize start) to the
+  // LAST consumer observing its delivery — the latency the parallel drain
+  // walk is built to cut on deep out-set trees.
+  double finalize_to_last_s = 0;
+};
+
+// fanout with broadcast-latency instrumentation: same workload and return
+// value, but each consumer stamps its delivery time and `timing` (if
+// non-null) receives finalize-to-last-delivery wall time. The per-consumer
+// clock read makes it slightly slower than fanout(); use fanout() when only
+// throughput matters. Pair with a deep-broadcast out-set spec
+// ("tree:<f>:<t>:<scatter>") to measure the finalize walk itself.
+std::uint64_t fanout_timed(runtime& rt, std::uint64_t consumers,
+                           std::uint64_t work_ns, std::uint64_t producer_ns,
+                           fanout_timing* timing);
+
 // future_churn(n): n INDEPENDENT futures, each created, completed and
 // destroyed by its own producer/consumer pair — the allocation worst case
 // for the future machinery (one future_state + out-set + waiter record +

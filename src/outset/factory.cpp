@@ -33,8 +33,7 @@ std::uint64_t parse_spec_u64(const std::string& field,
 
 outset_factory::outset_factory(pool_registry* pools)
     : pools_(pools != nullptr ? pools : &default_pool_registry()),
-      waiter_pool_(&pools_->get("outset_waiter", sizeof(outset_waiter),
-                                alignof(outset_waiter))) {}
+      waiter_pool_(&outset_waiter_pool(*pools_)) {}
 
 outset* outset_factory::acquire() {
   outset* o = pool_.pop();
@@ -83,10 +82,11 @@ std::unique_ptr<outset> simple_outset_factory::create() {
 tree_outset_factory::tree_outset_factory(tree_outset_config cfg,
                                          pool_registry* pools)
     : outset_factory(pools), cfg_(cfg) {
-  // One group pool per fanout geometry; every tree this factory creates
-  // shares it, so pooled out-sets recycled at different times draw from one
-  // set of slabs.
-  cfg_.groups = &tree_outset_group_pool(this->pools(), cfg_.fanout);
+  // Every tree this factory creates resolves its group/waiter/drain pools
+  // from the factory's registry, so pooled out-sets recycled at different
+  // times draw from one set of slabs — and destruction-stranded waiter
+  // records land back in the pool acquire_waiter draws from.
+  cfg_.pools = &this->pools();
 }
 
 std::unique_ptr<outset> tree_outset_factory::create() {
@@ -102,15 +102,20 @@ std::unique_ptr<outset_factory> make_outset_factory(const std::string& spec,
       tree_outset_config{}, pools);
   if (s.rfind("tree:", 0) == 0) {
     tree_outset_config cfg;
+    // "tree:<fanout>[:<threshold>[:<scatter>]]" — split on colons, parse
+    // strictly, reject extra fields.
+    std::vector<std::string> fields;
     std::string rest = s.substr(5);
-    const auto colon = rest.find(':');
-    if (colon != std::string::npos) {
-      // "tree:<fanout>:<threshold>": damp growth with a 1/threshold coin,
-      // the same knob as the in-counter's "dyn:<threshold>".
-      cfg.grow_threshold = parse_spec_u64(rest.substr(colon + 1), spec);
-      rest = rest.substr(0, colon);
+    for (std::size_t colon = rest.find(':'); colon != std::string::npos;
+         colon = rest.find(':')) {
+      fields.push_back(rest.substr(0, colon));
+      rest = rest.substr(colon + 1);
     }
-    const std::uint64_t fanout = parse_spec_u64(rest, spec);
+    fields.push_back(rest);
+    if (fields.size() > 3) {
+      throw std::invalid_argument("too many fields in outset spec: " + spec);
+    }
+    const std::uint64_t fanout = parse_spec_u64(fields[0], spec);
     // The upper bound is a sanity rail: a group (fanout cache lines) is one
     // pool cell, and fan-outs past a few dozen already defeat the point of
     // the tree (spreading adds across lines).
@@ -119,6 +124,30 @@ std::unique_ptr<outset_factory> make_outset_factory(const std::string& spec,
                                   spec);
     }
     cfg.fanout = static_cast<std::uint32_t>(fanout);
+    if (fields.size() >= 2) {
+      // Damp growth with a 1/threshold coin, the same knob as the
+      // in-counter's "dyn:<threshold>". 0 is the defined never-grow
+      // ablation (see file comment), not an error.
+      cfg.grow_threshold = parse_spec_u64(fields[1], spec);
+    }
+    if (fields.size() == 3) {
+      // Deep-broadcast mode: forced registration depth (see file comment).
+      const std::uint64_t scatter = parse_spec_u64(fields[2], spec);
+      if (scatter > cfg.max_depth) {
+        throw std::invalid_argument(
+            "outset tree scatter depth exceeds the depth cap (" +
+            std::to_string(cfg.max_depth) + "): " + spec);
+      }
+      // Scatter dives grow groups unconditionally (forced structure), which
+      // would silently void the never-grow guarantee of threshold 0 — the
+      // two knobs contradict, so the combination is rejected.
+      if (scatter > 0 && cfg.grow_threshold == 0) {
+        throw std::invalid_argument(
+            "outset tree scatter contradicts the never-grow threshold 0: " +
+            spec);
+      }
+      cfg.scatter_depth = static_cast<std::uint32_t>(scatter);
+    }
     return std::make_unique<tree_outset_factory>(cfg, pools);
   }
   throw std::invalid_argument("unknown outset spec: " + spec);

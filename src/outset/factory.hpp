@@ -11,7 +11,23 @@
 //   "tree"                       grow-on-contention tree, fanout 2
 //   "tree:<fanout>"              grow-on-contention tree, given fanout (>= 2)
 //   "tree:<fanout>:<threshold>"  growth damped by a 1/threshold coin, like
-//                                the in-counter's (1 = always, 0 = never)
+//                                the in-counter's (1 = always; 0 = NEVER
+//                                grow — a defined, supported ablation: every
+//                                registration stays on the base cache line,
+//                                so the tree degenerates to simple_outset
+//                                plus tree bookkeeping. Deliberate, not an
+//                                error: it isolates the cost of the tree
+//                                machinery from the benefit of spreading.)
+//   "tree:<fanout>:<threshold>:<scatter>"
+//                                deep-broadcast mode: every add dives
+//                                <scatter> levels down a random path before
+//                                its first CAS, deterministically building
+//                                the deep tree that contention would — the
+//                                workload for the parallel finalize drain.
+//                                scatter must be <= the depth cap (12) and
+//                                cannot combine with threshold 0 (the dive
+//                                grows unconditionally, contradicting
+//                                never-grow).
 // Throws std::invalid_argument on anything else.
 //
 // Waiter records and tree node groups are slab-pool cells from the given
@@ -97,9 +113,14 @@ class tree_outset_factory final : public outset_factory {
   explicit tree_outset_factory(tree_outset_config cfg = {},
                                pool_registry* pools = nullptr);
   std::string name() const override {
+    // Trailing fields are elided when at their defaults, but a non-default
+    // scatter forces the threshold field so the name re-parses unambiguously.
     std::string s = "tree:" + std::to_string(cfg_.fanout);
-    if (cfg_.grow_threshold != 1) {
+    if (cfg_.grow_threshold != 1 || cfg_.scatter_depth != 0) {
       s += ":" + std::to_string(cfg_.grow_threshold);
+    }
+    if (cfg_.scatter_depth != 0) {
+      s += ":" + std::to_string(cfg_.scatter_depth);
     }
     return s;
   }

@@ -16,6 +16,9 @@
 //                on every captured waiter exactly once, streaming them out
 //                as the traversal proceeds, and flips the out-set into the
 //                terminated state in which every later add returns false.
+//                The parallel overload additionally hands subtree-drain
+//                tasks (outset_drain_task) to a caller-supplied spawner so
+//                the walk itself runs on many workers; see below.
 //   reset(f)     non-concurrent reinitialization for object pooling; any
 //                never-delivered waiters are handed to f for reclamation
 //                (an abandoned future's registrations).
@@ -47,18 +50,45 @@ struct outset_waiter {
   std::atomic<outset_waiter*> next{nullptr};  // intrusive capture list
 };
 
+// One stolen unit of finalize work: a subtree whose waiters are still to be
+// drained. Out-set implementations that can partition their finalize walk
+// (the tree) package subtrees as drain tasks and hand them to the caller's
+// spawner instead of walking them on the completing thread, so idle workers
+// broadcast in parallel. Ownership passes with the hand-off: whoever receives
+// a task calls run() exactly once; run() drains the subtree to the sink bound
+// at finalize time, hands still-deeper subtrees to the same spawner, invokes
+// the on_done hook, and releases the task's own pool cell.
+class outset_drain_task {
+ public:
+  virtual void run() = 0;
+
+  // Completion hook for the enqueuer (future_state pins itself across the
+  // asynchronous drain and unpins here). The spawner sets both fields before
+  // queueing the task; run() calls the hook after the subtree is fully
+  // drained and the task storage is already released.
+  void (*on_done)(void*) = nullptr;
+  void* on_done_ctx = nullptr;
+
+ protected:
+  ~outset_drain_task() = default;  // tasks release themselves inside run()
+};
+
 // Aggregate view of one out-set's relaxed instrumentation counters.
 struct outset_totals {
   std::uint64_t adds = 0;             // successful captures
   std::uint64_t add_cas_retries = 0;  // failed head CASes across all adds
   std::uint64_t rejected_adds = 0;    // adds that lost to finalize
   std::uint64_t delivered = 0;        // waiters handed to a finalize sink
+  // Subtree-drain tasks handed to a finalize spawner (0 when finalize ran
+  // serially or the structure never grew).
+  std::uint64_t subtrees_offloaded = 0;
 
   outset_totals& operator+=(const outset_totals& o) noexcept {
     adds += o.adds;
     add_cas_retries += o.add_cas_retries;
     rejected_adds += o.rejected_adds;
     delivered += o.delivered;
+    subtrees_offloaded += o.subtrees_offloaded;
     return *this;
   }
 };
@@ -70,6 +100,11 @@ class outset {
   // factory as ctx and schedules + reclaims, tests just count).
   using waiter_sink = void (*)(void* ctx, outset_waiter* w);
 
+  // Receives ownership of one subtree-drain task during a parallel finalize
+  // (typically enqueues it on an executor). The task must eventually be
+  // run() exactly once, on any thread.
+  using drain_spawner = void (*)(void* ctx, outset_drain_task* t);
+
   virtual ~outset() = default;
 
   // See file comment. Thread-safe against concurrent add and one finalize.
@@ -78,6 +113,20 @@ class outset {
   // See file comment. Must be called at most once per reset-generation, by
   // one thread; concurrent adds are safe.
   virtual void finalize(waiter_sink sink, void* ctx) = 0;
+
+  // Parallel finalize: like finalize(sink, ctx), but implementations that
+  // can partition the walk hand subtree-drain tasks to `spawn` instead of
+  // draining everything on the calling thread. Delivery is complete only
+  // once every spawned task has run; the caller must keep the out-set, the
+  // sink ctx, and the spawner ctx alive until then (each task's on_done hook
+  // is the per-task signal). The default ignores the spawner and drains
+  // serially — only structured implementations override.
+  virtual void finalize(waiter_sink sink, void* sctx, drain_spawner spawn,
+                        void* spawn_ctx) {
+    (void)spawn;
+    (void)spawn_ctx;
+    finalize(sink, sctx);
+  }
 
   // See file comment. Non-concurrent.
   virtual void reset(waiter_sink sink, void* ctx) = 0;
@@ -88,6 +137,7 @@ class outset {
     t.add_cas_retries = add_cas_retries_.load(std::memory_order_relaxed);
     t.rejected_adds = rejected_adds_.load(std::memory_order_relaxed);
     t.delivered = delivered_.load(std::memory_order_relaxed);
+    t.subtrees_offloaded = subtrees_offloaded_.load(std::memory_order_relaxed);
     return t;
   }
 
@@ -109,6 +159,9 @@ class outset {
   }
   void count_delivered() noexcept {
     delivered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_offloaded() noexcept {
+    subtrees_offloaded_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Delivers an exchanged capture list to `sink`, oldest registration last
@@ -138,6 +191,7 @@ class outset {
   std::atomic<std::uint64_t> add_cas_retries_{0};
   std::atomic<std::uint64_t> rejected_adds_{0};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> subtrees_offloaded_{0};
 };
 
 }  // namespace spdag

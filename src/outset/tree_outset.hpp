@@ -15,30 +15,43 @@
 // lines; a single-threaded add is one uncontended CAS on the base, the same
 // cost as simple_outset.
 //
-// Finalize. The producer walks the tree top-down. At each node it first
-// seals the children pointer (CASing in a terminated sentinel when the node
-// is childless, so no group can be installed under an already-drained node),
-// then exchanges the list head for the terminated-waiter sentinel and
-// streams the captured waiters to the sink *before* descending — consumers
-// registered near the top of the tree are running on other workers while
-// deeper nodes are still being drained, which is what "broadcast in parallel
-// down the tree" means here. The add/finalize race is thereby resolved per
-// node: an add that loses a head CAS to the sentinel, or a grow that loses
-// the children CAS to the sentinel, returns false and the registrant
-// schedules its consumer itself (the future is already completed — both
-// sentinels are only ever installed by finalize, which the producer calls
-// after publishing the value).
+// Finalize. The producer walks the tree top-down, iteratively (an explicit
+// frame stack, so depth is bounded by the heap, never the call stack). At
+// each node it first seals the children pointer (CASing in a terminated
+// sentinel when the node is childless, so no group can be installed under an
+// already-drained node), then exchanges the list head for the
+// terminated-waiter sentinel and streams the captured waiters to the sink
+// *before* touching descendants — consumers registered near the top of the
+// tree are running on other workers while deeper nodes are still being
+// drained. With the parallel overload the walk itself is partitioned: every
+// child group discovered at depth >= offload_depth is packaged as an
+// outset_drain_task (one pool cell from the registry's "outset_drain" pool)
+// and handed to the caller's spawner instead of being walked here, so idle
+// workers steal whole subtree drains; each task drains its group the same
+// way and re-offloads the groups below it. The add/finalize race is resolved
+// per node regardless of which thread drains it: an add that loses a head
+// CAS to the sentinel, or a grow that loses the children CAS to the
+// sentinel, returns false and the registrant schedules its consumer itself
+// (the future is already completed — both sentinels are only ever installed
+// by the finalize walk, which starts after the value is published).
 //
 // Growth damping. Like the in-counter's grow(), descending can be gated on
 // a 1/grow_threshold coin flipped per contention signal: with threshold t a
 // collided add stays and fights on the current line with probability
 // 1 - 1/t, so the tree grows roughly t-times slower under the same
 // contention (threshold 1 = always grow, the analyzed setting; 0 = never,
-// degenerating to simple_outset on the base line).
+// degenerating to simple_outset on the base line — a supported ablation, see
+// factory.hpp).
 //
-// Memory. Child groups (fanout cache-line nodes, one pool cell) come from
-// the shared "outset_group" slab pool (src/mem/), so Figure-10 style churn
-// (one future per iteration, millions of iterations) measures the
+// Deep-broadcast mode. scatter_depth > 0 makes every add dive that many
+// levels (growing groups along a random path) before its first CAS, forcing
+// the deep, wide trees that contention would build on a many-core box — the
+// deterministic workload for measuring finalize-to-last-delivery latency and
+// the parallel drain machinery on any hardware.
+//
+// Memory. Child groups (fanout cache-line nodes, one pool cell) and drain
+// tasks come from the shared registry pools (src/mem/), so Figure-10 style
+// churn (one future per iteration, millions of iterations) measures the
 // structure, not malloc — and groups freed by reset() recirculate through
 // the pool's per-worker magazines instead of a per-outset stash.
 
@@ -60,6 +73,14 @@ inline object_pool& tree_outset_group_pool(pool_registry& pools,
                    cache_line_size);
 }
 
+// THE waiter-record pool of a registry — same single-definition rule. The
+// factory acquires registrations from it, and ~tree_outset returns records
+// stranded at destruction to it, so the two can never disagree.
+inline object_pool& outset_waiter_pool(pool_registry& pools) {
+  return pools.get("outset_waiter", sizeof(outset_waiter),
+                   alignof(outset_waiter));
+}
+
 struct tree_outset_config {
   // Children installed per grow. 2 mirrors snzi's child_pair; wider fanouts
   // trade tree depth for a bigger finalize frontier.
@@ -71,9 +92,21 @@ struct tree_outset_config {
   // A collided add descends with probability 1/grow_threshold (see file
   // comment); 1 = always, 0 = never.
   std::uint64_t grow_threshold = 1;
-  // Node-group slab pool; null = the default registry's outset_group pool
-  // for this fanout. Borrowed, must outlive the out-set.
-  object_pool* groups = nullptr;
+  // Parallel finalize: child groups at depth >= offload_depth are handed to
+  // the spawner as drain tasks (when one is supplied). 1 = every group; the
+  // base node is always drained by the finalizing thread itself.
+  std::uint32_t offload_depth = 1;
+  // Deep-broadcast mode (see file comment): adds dive this many levels on a
+  // random path before their first CAS. 0 = off (grow on contention only).
+  // The dive grows groups unconditionally — it forces structure, bypassing
+  // the grow_threshold coin — so combining it with the never-grow threshold
+  // 0 is contradictory (the spec parser rejects "tree:<f>:0:<scatter>").
+  std::uint32_t scatter_depth = 0;
+  // Registry supplying node groups, drain tasks, and the waiter pool that
+  // destruction-stranded records return to; null = the process-wide default
+  // registry. Borrowed, must outlive the out-set — and must be the registry
+  // the out-set's waiter records were drawn from.
+  pool_registry* pools = nullptr;
 };
 
 class tree_outset final : public outset {
@@ -83,10 +116,13 @@ class tree_outset final : public outset {
 
   bool add(outset_waiter* w) noexcept override;
   void finalize(waiter_sink sink, void* ctx) override;
+  void finalize(waiter_sink sink, void* ctx, drain_spawner spawn,
+                void* spawn_ctx) override;
   void reset(waiter_sink sink, void* ctx) override;
 
   std::uint32_t fanout() const noexcept { return cfg_.fanout; }
   std::uint64_t grow_threshold() const noexcept { return cfg_.grow_threshold; }
+  std::uint32_t scatter_depth() const noexcept { return cfg_.scatter_depth; }
 
   // --- non-concurrent introspection (tests, space accounting) ---
   std::size_t node_count() const;  // reachable nodes incl. base
@@ -105,6 +141,9 @@ class tree_outset final : public outset {
   static_assert(sizeof(tree_node) == cache_line_size,
                 "an out-set node must own exactly one cache line");
 
+  // One stolen finalize unit: a child group awaiting drain (tree_outset.cpp).
+  struct drain_task;
+
   static tree_node* terminated_children() noexcept {
     return reinterpret_cast<tree_node*>(std::uintptr_t{1});
   }
@@ -112,13 +151,20 @@ class tree_outset final : public outset {
   // Returns n's children, installing a fresh group if absent. May return
   // terminated_children() when finalize sealed the node first.
   tree_node* grow(tree_node* n) noexcept;
-  void finalize_node(tree_node* n, waiter_sink sink, void* ctx);
-  void reset_node(tree_node* n, waiter_sink sink, void* ctx);
-  static std::size_t count_nodes(const tree_node* n, std::uint32_t fanout);
-  static std::size_t depth_below(const tree_node* n, std::uint32_t fanout);
+
+  // The iterative finalize walk over `count` nodes starting at `first`
+  // (depth of those nodes given). Seals + drains each node, pushes kept
+  // child groups on an explicit stack, and offloads groups at depth >=
+  // offload_depth through `spawn` when present. Shared by finalize() (from
+  // the base node) and drain_task::run() (from a stolen group).
+  void drain_nodes(tree_node* first, std::uint32_t count, std::uint32_t depth,
+                   waiter_sink sink, void* ctx, drain_spawner spawn,
+                   void* spawn_ctx);
 
   tree_outset_config cfg_;
-  object_pool* groups_;  // one `fanout`-node group per cell
+  object_pool* groups_;   // one `fanout`-node group per cell
+  object_pool* waiters_;  // registry waiter pool (destructor reclamation)
+  object_pool* drains_;   // drain_task cells for the parallel finalize
   tree_node base_;
 };
 

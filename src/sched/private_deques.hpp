@@ -18,6 +18,12 @@
 //
 // The trade: task execution pays zero synchronization on the deque, at the
 // cost of steal latency bounded by the victim's polling interval.
+//
+// Out-set drain tasks (parallel finalize, see outset.hpp): this scheduler
+// keeps the executor default — drains run inline on the enqueuing worker
+// through the flattening trampoline. A shared drain lane would cut against
+// the private-deque model (nothing here is stealable without a request);
+// receiver-initiated drain hand-off is a possible follow-up.
 
 #include <atomic>
 #include <condition_variable>

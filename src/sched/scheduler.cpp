@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "outset/outset.hpp"
 #include "util/backoff.hpp"
 #include "util/topology.hpp"
 
@@ -33,6 +34,14 @@ scheduler::~scheduler() {
     park_cv_.notify_all();
   }
   for (auto& t : threads_) t.join();
+  // Drains must have quiesced: run() waits for the lane to empty, and the
+  // runtime destroys its engine BEFORE this scheduler, so a task still
+  // queued here could only come from unstructured direct executor use —
+  // and running it now would deliver waiters into a destroyed engine.
+  // Assert loudly instead of executing use-after-destruction.
+  assert(drains_pending_.load(std::memory_order_acquire) == 0 &&
+         "scheduler destroyed with pending subtree drains; drive the "
+         "drain lane to quiescence (run()) before teardown");
 }
 
 void scheduler::enqueue(vertex* v) {
@@ -44,6 +53,38 @@ void scheduler::enqueue(vertex* v) {
     injected_size_.fetch_add(1, std::memory_order_release);
   }
   unpark_some();
+}
+
+void scheduler::enqueue_drain(outset_drain_task* t) {
+  const int from = tls_scheduler == this ? tls_worker_id : -1;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drains_.push_back({t, from});
+    drain_size_.fetch_add(1, std::memory_order_release);
+  }
+  drains_pending_.fetch_add(1, std::memory_order_acq_rel);
+  unpark_some();
+}
+
+bool scheduler::run_one_drain(int id) {
+  if (drain_size_.load(std::memory_order_acquire) == 0) return false;
+  drain_item item{nullptr, -1};
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (drains_.empty()) return false;
+    item = drains_.front();
+    drains_.pop_front();
+    drain_size_.fetch_sub(1, std::memory_order_release);
+  }
+  item.task->run();
+  drains_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (item.from != id) {
+    drains_stolen_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Decrement AFTER run(): pending==0 must mean fully delivered, not merely
+  // dequeued (run() below spins on it for quiescence).
+  drains_pending_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
 }
 
 vertex* scheduler::pop_injected() {
@@ -109,6 +150,10 @@ void scheduler::worker_main(std::size_t id) {
       }
       continue;
     }
+    // No vertex anywhere: an idle worker is exactly who should steal a
+    // subtree drain (the dag's critical path keeps priority over broadcast
+    // bookkeeping).
+    if (run_one_drain(static_cast<int>(id))) continue;
     // Out of work: park briefly. The timeout (rather than precise wakeup
     // accounting) keeps the protocol simple and bounds lost-wakeup cost.
     std::unique_lock<std::mutex> lock(park_mu_);
@@ -136,10 +181,15 @@ void scheduler::run(dag_engine& engine, vertex* root, vertex* final_v) {
     done_cv_.wait(lock, [this] { return done_.load(std::memory_order_acquire); });
   }
   // The final vertex ran, but a worker may still be in the epilogue of a
-  // chained/spawned vertex (recycling it). Spin out the stragglers so that
-  // returning from run() implies every vertex has been recycled.
+  // chained/spawned vertex (recycling it), and empty-subtree drain tasks
+  // (no consumer gated the finish on them) may still sit in the drain lane
+  // holding pinned future states. Spin out both so that returning from
+  // run() implies every vertex is recycled and every drain delivered.
   backoff b;
-  while (active_.load(std::memory_order_acquire) != 0) b.pause();
+  while (active_.load(std::memory_order_acquire) != 0 ||
+         drains_pending_.load(std::memory_order_acquire) != 0) {
+    b.pause();
+  }
   stop_vertex_.store(nullptr, std::memory_order_release);
 }
 
@@ -151,6 +201,8 @@ scheduler_totals scheduler::totals() const {
     t.failed_steal_sweeps += w->value.failed_steal_sweeps.load(std::memory_order_relaxed);
     t.parks += w->value.parks.load(std::memory_order_relaxed);
   }
+  t.drains_executed = drains_executed_.load(std::memory_order_relaxed);
+  t.drains_stolen = drains_stolen_.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -161,6 +213,8 @@ void scheduler::reset_totals() {
     w->value.failed_steal_sweeps.store(0, std::memory_order_relaxed);
     w->value.parks.store(0, std::memory_order_relaxed);
   }
+  drains_executed_.store(0, std::memory_order_relaxed);
+  drains_stolen_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace spdag

@@ -48,6 +48,12 @@ class scheduler final : public scheduler_base {
   // deque; everyone else goes through the injection queue.
   void enqueue(vertex* v) override;
 
+  // Drain lane for parallel out-set finalize: tasks land on a shared queue
+  // that workers poll only when they have no vertex work, so subtree drains
+  // migrate to idle cores without displacing the dag's critical path. run()
+  // does not return until the lane is empty (drains are part of quiescence).
+  void enqueue_drain(outset_drain_task* t) override;
+
   // Executes the dag rooted at `root` until `final_v` has run. Blocking;
   // call from a non-worker thread. The engine must use this scheduler as
   // its executor.
@@ -75,6 +81,8 @@ class scheduler final : public scheduler_base {
   void worker_main(std::size_t id);
   vertex* find_work(std::size_t id, xoshiro256& rng);
   vertex* pop_injected();
+  // Runs one queued drain task if any; returns whether it did.
+  bool run_one_drain(int id);
   void unpark_some();
 
   scheduler_config cfg_;
@@ -84,6 +92,21 @@ class scheduler final : public scheduler_base {
   std::mutex inject_mu_;
   std::deque<vertex*> injected_;
   std::atomic<std::size_t> injected_size_{0};
+
+  // One queued subtree drain; `from` is the enqueuing worker (-1 external),
+  // kept to tell migrated drains (steals) from self-run ones.
+  struct drain_item {
+    outset_drain_task* task;
+    int from;
+  };
+  std::mutex drain_mu_;
+  std::deque<drain_item> drains_;
+  std::atomic<std::size_t> drain_size_{0};
+  // Enqueued but not yet finished draining (decremented after run(), so a
+  // zero means every spawned subtree is fully delivered — run() waits on it).
+  std::atomic<int> drains_pending_{0};
+  std::atomic<std::uint64_t> drains_executed_{0};
+  std::atomic<std::uint64_t> drains_stolen_{0};
 
   std::mutex park_mu_;
   std::condition_variable park_cv_;

@@ -21,6 +21,12 @@ struct scheduler_totals {
   std::uint64_t steals = 0;
   std::uint64_t failed_steal_sweeps = 0;
   std::uint64_t parks = 0;
+  // Out-set subtree-drain tasks run by workers (the parallel finalize lane;
+  // zero for schedulers that run drains inline on the enqueuing thread).
+  std::uint64_t drains_executed = 0;
+  // Of those, tasks run by a worker other than the enqueuing one — finalize
+  // work that actually migrated to an idle core.
+  std::uint64_t drains_stolen = 0;
 };
 
 class scheduler_base : public executor {

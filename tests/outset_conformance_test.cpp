@@ -172,7 +172,8 @@ TEST_P(OutsetConformance, CountersTallyAddsAndDeliveries) {
 
 INSTANTIATE_TEST_SUITE_P(AllOutsets, OutsetConformance,
                          ::testing::Values("simple", "tree", "tree:4",
-                                           "outset:tree:8"),
+                                           "outset:tree:8", "tree:2:0",
+                                           "tree:2:1:4"),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            std::string name = info.param;
                            for (char& ch : name) {
