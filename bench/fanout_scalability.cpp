@@ -15,12 +15,16 @@
 // "fanout_deep/..." configs use the scatter spec ("tree:2:1:<depth>") so
 // every registration dives <depth> levels before its first CAS,
 // deterministically building the deep, wide tree that contention would on a
-// many-core box. The metric there is `lat_ms` — finalize-to-last-delivery
-// wall time — plus `subtrees_offloaded` (finalize work units handed to the
-// executor's drain lane) and `drains_stolen` (how many ran on a worker
-// other than the enqueuer). With >= 2 workers a deep run that offloads
-// nothing is an error (the drain machinery went dark), and CI smoke-runs
-// exactly that configuration.
+// many-core box — under BOTH schedulers, since each has its own drain lane
+// (ws: shared stealable queue; private: per-worker queues served through
+// the steal-request hand-off). The metric there is `lat_ms` —
+// finalize-to-last-delivery wall time — plus `subtrees_offloaded` (finalize
+// work units handed to the executor), `drains_executed`/`drains_stolen`
+// (where they ran), and `drains_handed_off` (how many left their enqueuer
+// through the scheduler's transfer mechanism). With >= 2 workers a deep run
+// that offloads nothing, or that offloads but never executes a drain
+// through the lane, is an error (the drain machinery went dark) for either
+// scheduler, and CI smoke-runs exactly that configuration.
 //
 // Scale knobs: -n / SPDAG_N (consumer count, default 1<<15), -proc /
 // SPDAG_PROC (max workers), -runs / SPDAG_RUNS, -prodns / SPDAG_PRODNS
@@ -99,15 +103,18 @@ void register_config(const std::string& outset_spec, std::size_t workers,
 }
 
 // Deep-tree broadcast mode: scatter-forced depth, latency-instrumented
-// workload, parallel-drain counters.
-void register_deep_config(const std::string& outset_spec, std::size_t workers,
+// workload, parallel-drain counters — swept per scheduler so the two drain
+// lanes compare like for like.
+void register_deep_config(const std::string& outset_spec,
+                          const std::string& sched, std::size_t workers,
                           std::uint64_t n, std::uint64_t producer_ns,
                           int runs) {
-  const std::string name =
-      "fanout_deep/" + outset_spec + "/proc:" + std::to_string(workers);
+  const std::string name = "fanout_deep/" + outset_spec + "/sched:" + sched +
+                           "/proc:" + std::to_string(workers);
   benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
     runtime_config cfg{workers, "dyn"};
     cfg.outset = outset_spec;
+    cfg.sched = sched;
     runtime rt(cfg);
     harness::fanout_timed(rt, n, 0, producer_ns, nullptr);  // warm-up
     const outset_totals before = rt.outsets().totals();
@@ -132,23 +139,34 @@ void register_deep_config(const std::string& outset_spec, std::size_t workers,
         st.iterations() > 0
             ? lat_sum_s * 1e3 / static_cast<double>(st.iterations())
             : 0.0;
+    const double executed = static_cast<double>(sched_after.drains_executed -
+                                                sched_before.drains_executed);
     st.counters["subtrees_offloaded"] = offloaded;
+    st.counters["drains_executed"] = executed;
     st.counters["drains_stolen"] = static_cast<double>(
         sched_after.drains_stolen - sched_before.drains_stolen);
+    st.counters["drains_handed_off"] = static_cast<double>(
+        sched_after.drains_handed_off - sched_before.drains_handed_off);
     st.counters["ops/s"] = benchmark::Counter(
         static_cast<double>(harness::outset_ops(n)),
         benchmark::Counter::kIsIterationInvariantRate);
     if (delivered_sum != st.iterations() * n) {
       st.SkipWithError("exactly-once delivery violated");
     }
-    // Captured scatter-deep registrations imply grown groups, and grown
-    // groups must be offloaded — unless the drain machinery went dark. A
-    // run where every consumer took the ready bypass (n=0, or a producer
-    // that finished before the wave) proves nothing and is not an error.
-    if (workers >= 2 && captured > 0 && offloaded == 0) {
+    // Captured scatter-deep registrations imply grown groups, grown groups
+    // must be offloaded, and multi-worker offloads must flow through the
+    // scheduler's drain lane (ws: shared queue; private: per-worker queues
+    // + steal-request hand-off) — anything else means the drain machinery
+    // went dark. A run where every consumer took the ready bypass (n=0, or
+    // a producer that finished before the wave) proves nothing and is not
+    // an error.
+    if (workers >= 2 && captured > 0 && (offloaded == 0 || executed == 0)) {
       g_deep_drain_dark.store(true, std::memory_order_relaxed);
-      st.SkipWithError(
-          "deep-tree finalize offloaded no subtrees: parallel drain is dark");
+      st.SkipWithError(offloaded == 0
+                           ? "deep-tree finalize offloaded no subtrees: "
+                             "parallel drain is dark"
+                           : "offloaded subtrees never ran through the "
+                             "scheduler's drain lane: hand-off is dark");
     }
   })
       ->UseManualTime()
@@ -185,10 +203,14 @@ int main(int argc, char** argv) {
       register_config(algo, p, common.n, producer_ns, common.runs);
     }
   }
+  const std::vector<std::string> scheds{"ws", "private"};
   if (deep > 0) {
     const std::string deep_spec = "tree:2:1:" + std::to_string(deep);
-    for (std::size_t p : harness::worker_sweep(common.max_proc)) {
-      register_deep_config(deep_spec, p, common.n, producer_ns, common.runs);
+    for (const auto& sched : scheds) {
+      for (std::size_t p : harness::worker_sweep(common.max_proc)) {
+        register_deep_config(deep_spec, sched, p, common.n, producer_ns,
+                             common.runs);
+      }
     }
   }
 
@@ -204,14 +226,19 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   if (deep > 0) {
-    // Broadcast detail for one clean deep run at full width (rebuilt fresh
-    // so the counters are one run's, not the sweep's accumulation).
-    runtime_config cfg{common.max_proc, "dyn"};
-    cfg.outset = "tree:2:1:" + std::to_string(deep);
-    runtime rt(cfg);
-    harness::fanout_timed(rt, common.n, 0, producer_ns, nullptr);
-    harness::print_broadcast_stats(std::cout, rt.outsets().totals(),
-                                   rt.sched().totals());
+    // Broadcast detail for one clean deep run at full width per scheduler
+    // (rebuilt fresh so the counters are one run's, not the sweep's
+    // accumulation) — the like-for-like drain-lane comparison.
+    for (const auto& sched : scheds) {
+      runtime_config cfg{common.max_proc, "dyn"};
+      cfg.outset = "tree:2:1:" + std::to_string(deep);
+      cfg.sched = sched;
+      runtime rt(cfg);
+      harness::fanout_timed(rt, common.n, 0, producer_ns, nullptr);
+      std::cout << "# sched=" << sched << " ";
+      harness::print_broadcast_stats(std::cout, rt.outsets().totals(),
+                                     rt.sched().totals());
+    }
   }
   if (g_deep_drain_dark.load(std::memory_order_relaxed)) {
     std::fprintf(stderr,

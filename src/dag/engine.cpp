@@ -20,10 +20,12 @@ vertex* dag_engine::current_vertex() noexcept { return tls_current_vertex; }
 dag_engine* dag_engine::current_engine() noexcept { return tls_current_engine; }
 
 void executor::enqueue_drain(outset_drain_task* t) {
-  // Default: run on the calling thread, flattened. A running task spawns its
-  // sub-tasks back through this very function, so recursing here would
-  // rebuild the deep call stack the iterative walks just removed; instead a
-  // nested call appends to the loop already draining this thread.
+  // Default: run on the calling thread, flattened — the serial-executor
+  // path, and what both schedulers fall back to when they cannot offload
+  // (one worker, saturated queue). A running task spawns its sub-tasks back
+  // through this very function, so recursing here would rebuild the deep
+  // call stack the iterative walks just removed; instead a nested call
+  // appends to the loop already draining this thread.
   if (tls_drain_queue != nullptr) {
     tls_drain_queue->push_back(t);
     return;

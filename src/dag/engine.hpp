@@ -30,10 +30,13 @@ class executor {
   virtual void enqueue(vertex* v) = 0;
 
   // Accepts one subtree-drain work unit from a parallel out-set finalize
-  // (see outset::finalize's drain_spawner overload). Schedulers with a
-  // stealable drain lane override; the default runs the task on the calling
-  // thread through a flattening trampoline, so even inline execution keeps
-  // the stack bounded when tasks spawn sub-tasks (engine.cpp).
+  // (see outset::finalize's drain_spawner overload). Both schedulers
+  // override — `ws` with a shared stealable lane, `private` with per-worker
+  // queues served through its steal-request protocol (receiver-initiated
+  // hand-off). The default runs the task on the calling thread through a
+  // flattening trampoline, so even inline execution keeps the stack bounded
+  // when tasks spawn sub-tasks (engine.cpp); it remains the serial-executor
+  // path and the schedulers' single-worker/saturation fallback.
   virtual void enqueue_drain(outset_drain_task* t);
 };
 

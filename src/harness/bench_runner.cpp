@@ -79,7 +79,8 @@ void print_broadcast_stats(std::ostream& os, const outset_totals& outsets,
      << " rejected=" << outsets.rejected_adds
      << " subtrees_offloaded=" << outsets.subtrees_offloaded
      << " drains_executed=" << sched.drains_executed
-     << " drains_stolen=" << sched.drains_stolen << "\n";
+     << " drains_stolen=" << sched.drains_stolen
+     << " drains_handed_off=" << sched.drains_handed_off << "\n";
 }
 
 std::vector<std::size_t> worker_sweep(std::size_t max_workers, std::size_t points) {

@@ -57,7 +57,9 @@ void print_pool_stats(std::ostream& os,
                       const std::vector<pool_registry_row>& rows);
 
 // One line of broadcast stats: adds / delivered / subtree drains offloaded
-// and where the scheduler ran them (executed / stolen by other workers).
+// and where the scheduler ran them (executed / stolen by other workers /
+// handed off through the scheduler's transfer mechanism). Identical fields
+// for both schedulers so their drain lanes compare like for like.
 void print_broadcast_stats(std::ostream& os, const outset_totals& outsets,
                            const scheduler_totals& sched);
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "outset/outset.hpp"
 #include "util/backoff.hpp"
 #include "util/topology.hpp"
 
@@ -32,6 +33,34 @@ private_deque_scheduler::~private_deque_scheduler() {
     park_cv_.notify_all();
   }
   for (auto& t : threads_) t.join();
+  // Structured teardown leaves nothing here: run() holds out for drain
+  // quiescence, so queued drains at destruction can only come from direct
+  // executor use (tests, unstructured embeddings). A drain task must run
+  // exactly once or its cell leaks, so flush the queues and any hand-off
+  // abandoned mid-transfer on this thread — workers are joined, so this is
+  // single-threaded. Tasks that re-offload go through enqueue_drain again
+  // and land in the injected queue (this thread is not a worker), which the
+  // loop below keeps draining.
+  auto run_leftover = [this](outset_drain_task* t) {
+    t->run();
+    drains_pending_.fetch_sub(1, std::memory_order_relaxed);
+  };
+  for (auto& w : workers_) {
+    worker& me = w->value;
+    if (outset_drain_task* t =
+            me.drain_transfer.value.load(std::memory_order_acquire)) {
+      me.drain_transfer.value.store(nullptr, std::memory_order_relaxed);
+      run_leftover(t);
+    }
+    while (!me.drains.empty()) {
+      outset_drain_task* t = me.drains.front();
+      me.drains.pop_front();
+      run_leftover(t);
+    }
+  }
+  while (outset_drain_task* t = injected_drains_.pop()) run_leftover(t);
+  assert(drains_pending_.load(std::memory_order_acquire) == 0 &&
+         "drain accounting out of balance at teardown");
 }
 
 void private_deque_scheduler::enqueue(vertex* v) {
@@ -39,21 +68,49 @@ void private_deque_scheduler::enqueue(vertex* v) {
     // Owner-only push; no synchronization by design.
     workers_[static_cast<std::size_t>(tls_pd_worker_id)]->value.tasks.push_back(v);
   } else {
-    std::lock_guard<std::mutex> lock(inject_mu_);
-    injected_.push_back(v);
-    injected_size_.fetch_add(1, std::memory_order_release);
+    injected_.push(v);
   }
   unpark_some();
 }
 
-vertex* private_deque_scheduler::pop_injected() {
-  if (injected_size_.load(std::memory_order_acquire) == 0) return nullptr;
-  std::lock_guard<std::mutex> lock(inject_mu_);
-  if (injected_.empty()) return nullptr;
-  vertex* v = injected_.front();
-  injected_.pop_front();
-  injected_size_.fetch_sub(1, std::memory_order_release);
-  return v;
+void private_deque_scheduler::enqueue_drain(outset_drain_task* t) {
+  if (workers_.size() > 1) {
+    if (tls_pd_scheduler == this && tls_pd_worker_id >= 0) {
+      // Worker path: queue privately. communicate() answers steal requests
+      // from it, and the idle path below runs what nobody asked for.
+      worker& me = workers_[static_cast<std::size_t>(tls_pd_worker_id)]->value;
+      if (me.drains.size() < cfg_.drain_queue_cap) {
+        drains_pending_.fetch_add(1, std::memory_order_acq_rel);
+        me.drains.push_back(t);
+        unpark_some();
+        return;
+      }
+      // Saturated: fall through to the inline trampoline rather than grow
+      // an unbounded private backlog thieves may never ask for.
+    } else {
+      // External thread: nothing private to queue on; inject for an idle
+      // worker to adopt (the dual of the vertex injection queue).
+      drains_pending_.fetch_add(1, std::memory_order_acq_rel);
+      injected_drains_.push(t);
+      unpark_some();
+      return;
+    }
+  }
+  // Single worker (no thief to hand to) or saturated queue: run inline
+  // through the flattening trampoline, same as the serial executor.
+  executor::enqueue_drain(t);
+}
+
+void private_deque_scheduler::run_drain(std::size_t id, outset_drain_task* t,
+                                        bool migrated) {
+  t->run();
+  worker& me = workers_[id]->value;
+  me.drains_executed.fetch_add(1, std::memory_order_relaxed);
+  if (migrated) me.drains_stolen.fetch_add(1, std::memory_order_relaxed);
+  // Decrement AFTER run(), and after any re-offloads the task made bumped
+  // the count: pending==0 must mean fully delivered, not merely dequeued
+  // (run() spins on it for quiescence).
+  drains_pending_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void private_deque_scheduler::unpark_some() {
@@ -75,6 +132,17 @@ void private_deque_scheduler::communicate(std::size_t id, bool can_give) {
     me.tasks.pop_front();
     other.transfer.value.store(v, std::memory_order_release);
     me.requests_served.fetch_add(1, std::memory_order_relaxed);
+  } else if (!me.drains.empty()) {
+    // No vertex to spare, but broadcast bookkeeping is queued: hand the
+    // OLDEST drain (nearest the out-set root, the widest subtree) to the
+    // thief. The drain_transfer store must precede the drain_given()
+    // publication — the thief's acquire on `transfer` is what orders it.
+    outset_drain_task* t = me.drains.front();
+    me.drains.pop_front();
+    other.drain_transfer.value.store(t, std::memory_order_release);
+    other.transfer.value.store(drain_given(), std::memory_order_release);
+    me.drains_handed_off.fetch_add(1, std::memory_order_relaxed);
+    me.requests_served.fetch_add(1, std::memory_order_relaxed);
   } else {
     other.transfer.value.store(declined(), std::memory_order_release);
     me.requests_declined.fetch_add(1, std::memory_order_relaxed);
@@ -82,7 +150,8 @@ void private_deque_scheduler::communicate(std::size_t id, bool can_give) {
   me.request.value.store(no_request, std::memory_order_release);
 }
 
-vertex* private_deque_scheduler::try_steal(std::size_t id, std::size_t victim) {
+vertex* private_deque_scheduler::try_steal(std::size_t id, std::size_t victim,
+                                           outset_drain_task** drain_out) {
   worker& me = workers_[id]->value;
   me.transfer.value.store(waiting(), std::memory_order_release);
   int expect = no_request;
@@ -91,10 +160,16 @@ vertex* private_deque_scheduler::try_steal(std::size_t id, std::size_t victim) {
     return nullptr;  // another thief beat us to this victim
   }
   // Spin for the answer; keep declining our own incoming requests so two
-  // thieves waiting on each other cannot deadlock.
+  // thieves waiting on each other cannot deadlock (an idle thief may still
+  // hand off its own queued drains, which only helps).
   backoff b;
   for (;;) {
     vertex* v = me.transfer.value.load(std::memory_order_acquire);
+    if (v == drain_given()) {
+      *drain_out = me.drain_transfer.value.load(std::memory_order_acquire);
+      me.drain_transfer.value.store(nullptr, std::memory_order_relaxed);
+      return nullptr;
+    }
     if (v != waiting()) {
       return v == declined() ? nullptr : v;
     }
@@ -133,11 +208,24 @@ void private_deque_scheduler::worker_main(std::size_t id) {
       continue;
     }
 
-    // Idle: decline anything pending, drain the injection queue, then go
-    // thieving.
+    // Idle: decline anything pending, drain the injection queue, then run
+    // queued broadcast work, then go thieving. Own drains come before
+    // stealing — an idle worker IS the idle core the hand-off exists to
+    // reach, so running the backlog here beats shipping it anywhere — and
+    // before parking, so a worker never sleeps on deliverable waiters.
     communicate(id, /*can_give=*/false);
-    if (vertex* v = pop_injected()) {
+    if (vertex* v = injected_.pop()) {
       me.tasks.push_back(v);
+      continue;
+    }
+    if (!me.drains.empty()) {
+      outset_drain_task* t = me.drains.front();
+      me.drains.pop_front();
+      run_drain(id, t, /*migrated=*/false);
+      continue;
+    }
+    if (outset_drain_task* t = injected_drains_.pop()) {
+      run_drain(id, t, /*migrated=*/true);
       continue;
     }
     bool got = false;
@@ -146,9 +234,15 @@ void private_deque_scheduler::worker_main(std::size_t id) {
       const std::size_t victim =
           static_cast<std::size_t>(rng.below(workers_.size()));
       if (victim == id) continue;
-      if (vertex* v = try_steal(id, victim)) {
+      outset_drain_task* drain = nullptr;
+      if (vertex* v = try_steal(id, victim, &drain)) {
         me.tasks.push_back(v);
         me.steals.fetch_add(1, std::memory_order_relaxed);
+        got = true;
+      } else if (drain != nullptr) {
+        // The victim had no vertex to spare and answered with broadcast
+        // work instead: the receiver-initiated drain hand-off.
+        run_drain(id, drain, /*migrated=*/true);
         got = true;
       } else {
         me.failed_steals.fetch_add(1, std::memory_order_relaxed);
@@ -185,8 +279,16 @@ void private_deque_scheduler::run(dag_engine& engine, vertex* root,
     std::unique_lock<std::mutex> lock(done_mu_);
     done_cv_.wait(lock, [this] { return done_.load(std::memory_order_acquire); });
   }
+  // The final vertex ran, but a worker may still be in a vertex epilogue,
+  // and empty-subtree drain tasks (no consumer gated the finish on them)
+  // may still sit in private drain queues holding pinned future states.
+  // Spin out both so returning from run() implies every vertex is recycled
+  // and every drain delivered.
   backoff b;
-  while (active_.load(std::memory_order_acquire) != 0) b.pause();
+  while (active_.load(std::memory_order_acquire) != 0 ||
+         drains_pending_.load(std::memory_order_acquire) != 0) {
+    b.pause();
+  }
   stop_vertex_.store(nullptr, std::memory_order_release);
 }
 
@@ -197,6 +299,10 @@ scheduler_totals private_deque_scheduler::totals() const {
     t.steals += w->value.steals.load(std::memory_order_relaxed);
     t.failed_steal_sweeps += w->value.failed_steals.load(std::memory_order_relaxed);
     t.parks += w->value.parks.load(std::memory_order_relaxed);
+    t.drains_executed += w->value.drains_executed.load(std::memory_order_relaxed);
+    t.drains_stolen += w->value.drains_stolen.load(std::memory_order_relaxed);
+    t.drains_handed_off +=
+        w->value.drains_handed_off.load(std::memory_order_relaxed);
   }
   return t;
 }
@@ -209,6 +315,9 @@ void private_deque_scheduler::reset_totals() {
     w->value.parks.store(0, std::memory_order_relaxed);
     w->value.requests_served.store(0, std::memory_order_relaxed);
     w->value.requests_declined.store(0, std::memory_order_relaxed);
+    w->value.drains_executed.store(0, std::memory_order_relaxed);
+    w->value.drains_stolen.store(0, std::memory_order_relaxed);
+    w->value.drains_handed_off.store(0, std::memory_order_relaxed);
   }
 }
 

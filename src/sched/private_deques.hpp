@@ -19,11 +19,16 @@
 // The trade: task execution pays zero synchronization on the deque, at the
 // cost of steal latency bounded by the victim's polling interval.
 //
-// Out-set drain tasks (parallel finalize, see outset.hpp): this scheduler
-// keeps the executor default — drains run inline on the enqueuing worker
-// through the flattening trampoline. A shared drain lane would cut against
-// the private-deque model (nothing here is stealable without a request);
-// receiver-initiated drain hand-off is a possible follow-up.
+// Out-set drain tasks (parallel finalize, see outset.hpp) ride the same
+// request/response protocol, receiver-initiated like everything else here:
+// each worker owns a PRIVATE drain queue, and a polled steal request that
+// finds no vertex to spare is answered with the oldest queued drain instead
+// of a decline. A busy worker therefore keeps the dag's critical path and
+// sheds broadcast bookkeeping to whoever asked for work; a worker that goes
+// idle with drains still queued runs them itself before thieving. Single-
+// worker runs, external (non-worker) enqueuers with nobody to hand to, and
+// a saturated queue all fall back to the executor's inline flattening
+// trampoline, so the serial path is untouched.
 
 #include <atomic>
 #include <condition_variable>
@@ -45,6 +50,10 @@ struct private_deque_config {
   // Failed steal attempts before a worker parks.
   std::size_t steal_attempts_before_park = 16;
   std::chrono::microseconds park_timeout{500};
+  // Out-set drain tasks a worker queues privately before enqueue_drain
+  // falls back to running the task inline (bounds the backlog a single
+  // broadcast can park on one worker).
+  std::size_t drain_queue_cap = 256;
 };
 
 class private_deque_scheduler final : public scheduler_base {
@@ -56,6 +65,14 @@ class private_deque_scheduler final : public scheduler_base {
   private_deque_scheduler& operator=(const private_deque_scheduler&) = delete;
 
   void enqueue(vertex* v) override;
+
+  // Receiver-initiated drain hand-off (see file comment): worker callers
+  // queue the task privately for communicate() to answer steal requests
+  // with; external callers inject it for an idle worker to adopt. Falls
+  // back to the inline flattening trampoline with one worker or a full
+  // queue. run() counts outstanding drains toward quiescence.
+  void enqueue_drain(outset_drain_task* t) override;
+
   void run(dag_engine& engine, vertex* root, vertex* final_v) override;
 
   std::size_t worker_count() const override { return workers_.size(); }
@@ -64,40 +81,83 @@ class private_deque_scheduler final : public scheduler_base {
 
  private:
   static constexpr int no_request = -1;
-  // Transfer-cell sentinels (never valid vertex addresses).
+  // Transfer-cell sentinels (never valid vertex addresses). drain_given()
+  // means "no vertex, but your drain_transfer cell holds a drain task".
   static vertex* waiting() { return reinterpret_cast<vertex*>(std::uintptr_t{1}); }
   static vertex* declined() { return reinterpret_cast<vertex*>(std::uintptr_t{2}); }
+  static vertex* drain_given() { return reinterpret_cast<vertex*>(std::uintptr_t{3}); }
 
   // Stat counters are relaxed atomics: worker-local (uncontended) on the
   // hot path, but totals()/reset_totals() may run while idle workers are
   // still bumping their park counts.
   struct worker {
-    std::deque<vertex*> tasks;  // private: owner-only
+    std::deque<vertex*> tasks;                // private: owner-only
+    std::deque<outset_drain_task*> drains;    // private: owner-only
     cache_aligned<std::atomic<int>> request{no_request};
     cache_aligned<std::atomic<vertex*>> transfer{nullptr};
+    // Companion to the transfer cell: the victim parks the handed-off drain
+    // here before publishing drain_given() in `transfer`.
+    cache_aligned<std::atomic<outset_drain_task*>> drain_transfer{nullptr};
     std::atomic<std::uint64_t> executions{0};
     std::atomic<std::uint64_t> steals{0};
     std::atomic<std::uint64_t> failed_steals{0};
     std::atomic<std::uint64_t> parks{0};
     std::atomic<std::uint64_t> requests_served{0};
     std::atomic<std::uint64_t> requests_declined{0};
+    std::atomic<std::uint64_t> drains_executed{0};
+    std::atomic<std::uint64_t> drains_stolen{0};
+    std::atomic<std::uint64_t> drains_handed_off{0};
+  };
+
+  // Mutexed FIFO with a lock-free emptiness probe, used for work injected
+  // by non-worker threads (vertices and drain tasks alike).
+  template <typename T>
+  struct injection_queue {
+    std::mutex mu;
+    std::deque<T*> items;
+    std::atomic<std::size_t> size{0};
+
+    void push(T* item) {
+      std::lock_guard<std::mutex> lock(mu);
+      items.push_back(item);
+      size.fetch_add(1, std::memory_order_release);
+    }
+    T* pop() {
+      if (size.load(std::memory_order_acquire) == 0) return nullptr;
+      std::lock_guard<std::mutex> lock(mu);
+      if (items.empty()) return nullptr;
+      T* item = items.front();
+      items.pop_front();
+      size.fetch_sub(1, std::memory_order_release);
+      return item;
+    }
   };
 
   void worker_main(std::size_t id);
-  // Answers a pending steal request; `can_give` = serve the oldest task,
-  // otherwise decline.
+  // Answers a pending steal request; `can_give` = serve the oldest task.
+  // With no vertex to spare it serves the oldest queued drain instead
+  // (broadcast bookkeeping never outranks the dag's critical path, but it
+  // beats declining an idle core), and only then declines.
   void communicate(std::size_t id, bool can_give);
-  vertex* try_steal(std::size_t id, std::size_t victim);
-  vertex* pop_injected();
+  // On success returns a vertex. Returning null with *drain_out set means
+  // the victim answered with a drain hand-off instead of a vertex.
+  vertex* try_steal(std::size_t id, std::size_t victim,
+                    outset_drain_task** drain_out);
+  // Runs one drain task on worker `id` and settles the pending count;
+  // `migrated` = it was enqueued by a different worker (or externally).
+  void run_drain(std::size_t id, outset_drain_task* t, bool migrated);
   void unpark_some();
 
   private_deque_config cfg_;
   std::vector<std::unique_ptr<padded<worker>>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex inject_mu_;
-  std::deque<vertex*> injected_;
-  std::atomic<std::size_t> injected_size_{0};
+  injection_queue<vertex> injected_;
+  // Drains enqueued by non-worker threads; idle workers adopt and run them.
+  injection_queue<outset_drain_task> injected_drains_;
+  // Enqueued but not yet finished draining (decremented after run(), so a
+  // zero means every queued subtree is fully delivered — run() waits on it).
+  std::atomic<int> drains_pending_{0};
 
   std::mutex park_mu_;
   std::condition_variable park_cv_;

@@ -203,6 +203,9 @@ scheduler_totals scheduler::totals() const {
   }
   t.drains_executed = drains_executed_.load(std::memory_order_relaxed);
   t.drains_stolen = drains_stolen_.load(std::memory_order_relaxed);
+  // The shared lane IS this scheduler's transfer mechanism: every drain that
+  // ran on a non-enqueuing worker left its enqueuer through it.
+  t.drains_handed_off = t.drains_stolen;
   return t;
 }
 

@@ -22,11 +22,18 @@ struct scheduler_totals {
   std::uint64_t failed_steal_sweeps = 0;
   std::uint64_t parks = 0;
   // Out-set subtree-drain tasks run by workers (the parallel finalize lane;
-  // zero for schedulers that run drains inline on the enqueuing thread).
+  // zero when every drain ran inline on the enqueuing thread).
   std::uint64_t drains_executed = 0;
   // Of those, tasks run by a worker other than the enqueuing one — finalize
   // work that actually migrated to an idle core.
   std::uint64_t drains_stolen = 0;
+  // Drain tasks that left their enqueuing worker through the scheduler's
+  // transfer mechanism: for `private`, a steal request answered with a
+  // queued drain (receiver-initiated hand-off); for `ws` the shared lane IS
+  // the transfer mechanism, so this equals drains_stolen there. Both
+  // schedulers report all three fields so bench/fanout_scalability -deep can
+  // compare them like for like.
+  std::uint64_t drains_handed_off = 0;
 };
 
 class scheduler_base : public executor {

@@ -2,7 +2,11 @@
 // scheduler (any ready vertex may run next) across many seeds. This explores
 // execution orders a LIFO work-stealing scheduler would rarely produce and
 // catches hidden ordering assumptions in the engine (the class of bug behind
-// the finish_then publication race).
+// the finish_then publication race). The executor also owns a drain lane of
+// the same kind: out-set subtree drains enqueued by a parallel finalize are
+// permuted against vertex execution, so a drain may be deferred past any
+// amount of dag progress — the adversarial interleaving a real scheduler
+// produces only under unlucky steals.
 
 #include <gtest/gtest.h>
 
@@ -11,29 +15,44 @@
 #include <vector>
 
 #include "dag/engine.hpp"
+#include "dag/future.hpp"
 #include "incounter/factory.hpp"
+#include "outset/factory.hpp"
 #include "util/rng.hpp"
 
 namespace spdag {
 namespace {
 
-// Valid single-threaded scheduler that picks a uniformly random ready
-// vertex at every step.
+// Valid single-threaded scheduler that picks a uniformly random ready item —
+// vertex or queued drain task — at every step.
 class random_order_executor final : public executor {
  public:
   explicit random_order_executor(std::uint64_t seed) : rng_(seed) {}
 
   void enqueue(vertex* v) override { ready_.push_back(v); }
 
+  // Queue instead of running inline: drains become schedulable items whose
+  // position relative to vertex execution the seed decides.
+  void enqueue_drain(outset_drain_task* t) override { drains_.push_back(t); }
+
   std::size_t run_all(dag_engine& engine) {
     std::size_t n = 0;
-    while (!ready_.empty()) {
-      const std::size_t i = static_cast<std::size_t>(rng_.below(ready_.size()));
-      vertex* v = ready_[i];
-      ready_[i] = ready_.back();
-      ready_.pop_back();
-      engine.execute(v);
-      ++n;
+    while (!ready_.empty() || !drains_.empty()) {
+      std::size_t i = static_cast<std::size_t>(
+          rng_.below(ready_.size() + drains_.size()));
+      if (i < ready_.size()) {
+        vertex* v = ready_[i];
+        ready_[i] = ready_.back();
+        ready_.pop_back();
+        engine.execute(v);
+        ++n;
+      } else {
+        i -= ready_.size();
+        outset_drain_task* t = drains_[i];
+        drains_[i] = drains_.back();
+        drains_.pop_back();
+        t->run();  // may enqueue deeper subtrees back onto the lane
+      }
     }
     return n;
   }
@@ -41,6 +60,7 @@ class random_order_executor final : public executor {
  private:
   xoshiro256 rng_;
   std::vector<vertex*> ready_;
+  std::vector<outset_drain_task*> drains_;
 };
 
 void run_seeded(const std::string& algo, std::uint64_t seed,
@@ -104,6 +124,64 @@ void setup_mixed(dag_engine& engine, vertex* root, vertex* final_v) {
   };
   engine.add(final_v);
   engine.add(root);
+}
+
+// --- drain-enqueue order vs vertex execution ---
+
+constexpr int kFutureConsumers = 96;
+
+void future_fanout_rec(future<std::uint64_t> f, std::uint64_t k) {
+  if (k >= 2) {
+    fork2([f, k] { future_fanout_rec(f, k / 2); },
+          [f, k] { future_fanout_rec(f, k - k / 2); });
+  } else if (k == 1) {
+    future_then(f, [](std::uint64_t v) {
+      g_leaves.fetch_add(static_cast<int>(v));
+    });
+  }
+}
+
+void setup_future_fanout(dag_engine& engine, vertex* root, vertex* final_v) {
+  g_leaves.store(0);
+  root->body = [] {
+    future<std::uint64_t> f = future<std::uint64_t>::make();
+    fork2([f] { f.complete(1, dag_engine::current_engine()); },
+          [f] { future_fanout_rec(f, kFutureConsumers); });
+  };
+  engine.add(final_v);
+  engine.add(root);
+}
+
+TEST(SchedulePermutationDrains, FutureFanoutDeliversOnceUnderPermutedDrains) {
+  // One producer, many future_then consumers, a scatter-forced tree out-set:
+  // the finalize offloads subtree drains through the executor, and the seed
+  // permutes (a) registration vs completion order — some adds are captured,
+  // some lose the race and self-deliver — and (b) when each captured
+  // subtree's drain actually runs relative to ongoing vertex execution.
+  // Exactly-once delivery (sum == consumers) must hold for every schedule,
+  // and quiescence (live_vertices == 0, all drains run) at every exit.
+  std::uint64_t offloaded_total = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    random_order_executor exec(seed);
+    auto factory = make_counter_factory("dyn");
+    auto outsets = make_outset_factory("tree:2:1:4");
+    dag_engine_options opts;
+    opts.outsets = outsets.get();
+    dag_engine engine(*factory, exec, opts);
+    auto [root, final_v] = engine.make();
+    setup_future_fanout(engine, root, final_v);
+    const std::size_t executed = exec.run_all(engine);
+    EXPECT_EQ(executed, engine.stats().vertices_created.load()) << "seed "
+                                                                << seed;
+    EXPECT_EQ(g_leaves.load(), kFutureConsumers) << "seed " << seed;
+    EXPECT_EQ(engine.live_vertices(), 0u) << "seed " << seed;
+    const outset_totals t = outsets->totals();
+    EXPECT_EQ(t.adds, t.delivered)
+        << "seed " << seed << ": captured registrations must all be drained";
+    offloaded_total += t.subtrees_offloaded;
+  }
+  EXPECT_GT(offloaded_total, 0u)
+      << "the scatter spec must actually exercise the offloaded-drain path";
 }
 
 class SchedulePermutation : public ::testing::TestWithParam<std::string> {};
