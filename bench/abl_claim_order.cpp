@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_runner.hpp"
 #include "harness/workloads.hpp"
 #include "sched/runtime.hpp"
 #include "snzi/stats.hpp"
@@ -30,6 +31,7 @@
 int main(int argc, char** argv) {
   using namespace spdag;
   options opts(argc, argv);
+  harness::json_open(opts, "abl_claim_order");
   const std::uint64_t n = static_cast<std::uint64_t>(opts.get_int("n", 1 << 16));
   const std::size_t procs = static_cast<std::size_t>(opts.get_int("proc", 2));
   const int runs = static_cast<int>(opts.get_int("runs", 3));
@@ -74,8 +76,23 @@ int main(int argc, char** argv) {
          result_table::num(ops / times.mean() / static_cast<double>(procs), 0),
          result_table::num(dec_ops > 0 ? departs / dec_ops : 0, 3),
          std::to_string(stats.grow_allocs.load())});
+    if (harness::json_enabled()) {
+      harness::json_record rec;
+      rec.name = "abl_claim_order/";
+      rec.name += p.label;
+      rec.spec = p.counter;
+      rec.proc = procs;
+      rec.runs = runs;
+      rec.wall_s = times.mean();
+      rec.ops_per_s = times.mean() > 0 ? ops / times.mean() : 0.0;
+      rec.extra.emplace_back("depart_hops_per_op",
+                             dec_ops > 0 ? departs / dec_ops : 0.0);
+      rec.extra.emplace_back("pair_allocs",
+                             static_cast<double>(stats.grow_allocs.load()));
+      harness::json_add(std::move(rec));
+    }
   }
   table.print(std::cout);
   if (csv) table.print_csv(std::cout);
-  return 0;
+  return harness::json_write();
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_runner.hpp"
 #include "harness/workloads.hpp"
 #include "incounter/incounter.hpp"
 #include "sched/runtime.hpp"
@@ -65,6 +66,7 @@ std::uint32_t max_node_ops_for(std::uint64_t threshold, int generations) {
 
 int main(int argc, char** argv) {
   options opts(argc, argv);
+  harness::json_open(opts, "abl_contention_bounds");
   const std::uint64_t n = static_cast<std::uint64_t>(opts.get_int("n", 1 << 15));
   const std::size_t procs = static_cast<std::size_t>(opts.get_int("proc", 2));
   const bool csv = opts.get_bool("csv", false);
@@ -93,15 +95,31 @@ int main(int argc, char** argv) {
                            static_cast<double>(stats.root_departs.load());
     const double cas_fail = static_cast<double>(stats.cas_failures.load());
 
+    const std::uint32_t max_ops = max_node_ops_for(t, generations);
     table.add_row({std::to_string(t),
                    result_table::num(arrives / increments, 3),
-                   std::to_string(max_node_ops_for(t, generations)),
+                   std::to_string(max_ops),
                    result_table::num(cas_fail / (arrives + departs), 5),
                    std::to_string(stats.undo_departs.load()),
                    std::to_string(stats.grow_allocs.load()),
                    std::to_string(stats.grow_reuses.load())});
+    if (harness::json_enabled()) {
+      harness::json_record rec;
+      rec.name = "abl_contention_bounds/threshold:";
+      rec.name += std::to_string(t);
+      rec.spec = "dyn:";
+      rec.spec += std::to_string(t);
+      rec.proc = procs;
+      rec.extra.emplace_back("arrives_per_incr", arrives / increments);
+      rec.extra.emplace_back("max_ops_per_node", static_cast<double>(max_ops));
+      rec.extra.emplace_back("cas_fail_per_op",
+                             cas_fail / (arrives + departs));
+      rec.extra.emplace_back(
+          "pair_allocs", static_cast<double>(stats.grow_allocs.load()));
+      harness::json_add(std::move(rec));
+    }
   }
   table.print(std::cout);
   if (csv) table.print_csv(std::cout);
-  return 0;
+  return harness::json_write();
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dag/engine.hpp"
+#include "harness/bench_runner.hpp"
 #include "harness/workloads.hpp"
 #include "incounter/timed_factory.hpp"
 #include "sched/runtime.hpp"
@@ -42,6 +43,7 @@ void fanin_body(std::uint64_t n) {
 
 int main(int argc, char** argv) {
   options opts(argc, argv);
+  harness::json_open(opts, "abl_latency_distribution");
   const std::uint64_t n = static_cast<std::uint64_t>(opts.get_int("n", 1 << 15));
   const std::size_t procs = static_cast<std::size_t>(opts.get_int("proc", 2));
   const bool csv = opts.get_bool("csv", false);
@@ -76,8 +78,25 @@ int main(int argc, char** argv) {
                    std::to_string(arrives.percentile_ns(0.99)),
                    std::to_string(arrives.percentile_ns(0.999)),
                    std::to_string(arrives.percentile_ns(1.0))});
+    if (harness::json_enabled()) {
+      harness::json_record rec;
+      rec.name = "abl_latency_distribution/";
+      rec.name += algo;
+      rec.spec = algo;
+      rec.proc = procs;
+      rec.extra.emplace_back("arrive_mean_ns", arrives.mean_ns());
+      rec.extra.emplace_back(
+          "arrive_p50_ns",
+          static_cast<double>(arrives.percentile_ns(0.50)));
+      rec.extra.emplace_back(
+          "arrive_p99_ns",
+          static_cast<double>(arrives.percentile_ns(0.99)));
+      rec.extra.emplace_back(
+          "arrive_max_ns", static_cast<double>(arrives.percentile_ns(1.0)));
+      harness::json_add(std::move(rec));
+    }
   }
   table.print(std::cout);
   if (csv) table.print_csv(std::cout);
-  return 0;
+  return harness::json_write();
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_runner.hpp"
 #include "harness/workloads.hpp"
 #include "sched/runtime.hpp"
 #include "util/cli.hpp"
@@ -21,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace spdag;
   options opts(argc, argv);
+  harness::json_open(opts, "abl_scheduler");
   const std::uint64_t n = static_cast<std::uint64_t>(opts.get_int("n", 1 << 16));
   const std::size_t procs = static_cast<std::size_t>(opts.get_int("proc", 2));
   const int runs = static_cast<int>(opts.get_int("runs", 3));
@@ -62,10 +64,27 @@ int main(int argc, char** argv) {
             {workload, sched, algo, result_table::num(times.mean(), 4),
              result_table::num(ops / times.mean() / static_cast<double>(procs), 0),
              std::to_string(rt.sched().totals().steals)});
+        if (harness::json_enabled()) {
+          harness::json_record rec;
+          rec.name = "abl_scheduler/";
+          rec.name += workload;
+          rec.name += "/";
+          rec.name += sched;
+          rec.name += "/";
+          rec.name += algo;
+          rec.spec = algo;
+          rec.sched = sched;
+          rec.proc = procs;
+          rec.runs = runs;
+          rec.wall_s = times.mean();
+          rec.ops_per_s = times.mean() > 0 ? ops / times.mean() : 0.0;
+          rec.sched_totals = rt.sched().totals();
+          harness::json_add(std::move(rec));
+        }
       }
     }
   }
   table.print(std::cout);
   if (csv) table.print_csv(std::cout);
-  return 0;
+  return harness::json_write();
 }

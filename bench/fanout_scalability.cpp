@@ -31,7 +31,11 @@
 // (producer busy-work in ns; default scales with n so registrations pile up
 // against the still-pending future instead of taking the ready bypass),
 // -deep / SPDAG_DEEP (scatter depth of the deep-tree mode, default 8;
-// 0 disables those configs).
+// 0 disables those configs). -json <path> / SPDAG_JSON writes one
+// structured record per config (CI uploads them as BENCH_*.json). The base
+// configs also sweep `alloc:pool` vs `alloc:pool:adaptive` — fan-out churns
+// the smallest (waiter record) and largest (node group) pool geometries, so
+// it is where adaptive magazine sizing diverges most from fixed.
 
 #include <benchmark/benchmark.h>
 
@@ -57,21 +61,31 @@ using namespace spdag;
 // needs this flag to turn the guard into a red build.
 std::atomic<bool> g_deep_drain_dark{false};
 
-void register_config(const std::string& outset_spec, std::size_t workers,
+void register_config(const std::string& outset_spec,
+                     const std::string& alloc_spec, std::size_t workers,
                      std::uint64_t n, std::uint64_t producer_ns, int runs) {
-  const std::string name =
-      "fanout/" + outset_spec + "/proc:" + std::to_string(workers);
+  // Appends, not one operator+ chain (gcc 12 -O3 -Wrestrict, PR 105651).
+  std::string name = "fanout/";
+  name += outset_spec;
+  name += "/alloc:";
+  name += alloc_spec;
+  name += "/proc:";
+  name += std::to_string(workers);
   benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
     runtime_config cfg{workers, "dyn"};
     cfg.outset = outset_spec;
+    cfg.alloc = alloc_spec;
     runtime rt(cfg);
     harness::fanout(rt, n, 0, producer_ns);  // warm-up: pools, pages
     const outset_totals before = rt.outsets().totals();
     std::uint64_t delivered_sum = 0;
+    double wall_sum_s = 0;
     for (auto _ : st) {
       wall_timer t;
       delivered_sum += harness::fanout(rt, n, 0, producer_ns);
-      st.SetIterationTime(t.elapsed_s());
+      const double el = t.elapsed_s();
+      st.SetIterationTime(el);
+      wall_sum_s += el;
     }
     const outset_totals after = rt.outsets().totals();
     const double adds = static_cast<double>(after.adds - before.adds);
@@ -97,6 +111,29 @@ void register_config(const std::string& outset_spec, std::size_t workers,
     if (delivered_sum != st.iterations() * n) {
       st.SkipWithError("exactly-once delivery violated");
     }
+    if (harness::json_enabled()) {
+      harness::json_record rec;
+      rec.name = name;
+      rec.spec = outset_spec;
+      rec.proc = workers;
+      rec.runs = runs;
+      const double iters = static_cast<double>(st.iterations());
+      rec.wall_s = iters > 0 ? wall_sum_s / iters : 0.0;
+      rec.ops_per_s = rec.wall_s > 0 ? ops / rec.wall_s : 0.0;
+      rec.pools = rt.pools().rows();
+      rec.pool_totals = rt.pools().totals();
+      rec.outsets = after;
+      rec.sched_totals = rt.sched().totals();
+      rec.extra.emplace_back("retries_per_add",
+                             st.counters["retries/add"].value);
+      rec.extra.emplace_back("rejected_per_add",
+                             st.counters["rejected/add"].value);
+      rec.extra.emplace_back("alloc_adaptive",
+                             alloc_spec.find("adaptive") != std::string::npos
+                                 ? 1.0
+                                 : 0.0);
+      harness::json_add(std::move(rec));
+    }
   })
       ->UseManualTime()
       ->Iterations(runs);
@@ -121,11 +158,14 @@ void register_deep_config(const std::string& outset_spec,
     const scheduler_totals sched_before = rt.sched().totals();
     std::uint64_t delivered_sum = 0;
     double lat_sum_s = 0;
+    double wall_sum_s = 0;
     for (auto _ : st) {
       harness::fanout_timing timing;
       wall_timer t;
       delivered_sum += harness::fanout_timed(rt, n, 0, producer_ns, &timing);
-      st.SetIterationTime(t.elapsed_s());
+      const double el = t.elapsed_s();
+      st.SetIterationTime(el);
+      wall_sum_s += el;
       lat_sum_s += timing.finalize_to_last_s;
     }
     const outset_totals after = rt.outsets().totals();
@@ -168,6 +208,26 @@ void register_deep_config(const std::string& outset_spec,
                            : "offloaded subtrees never ran through the "
                              "scheduler's drain lane: hand-off is dark");
     }
+    if (harness::json_enabled()) {
+      harness::json_record rec;
+      rec.name = name;
+      rec.spec = outset_spec;
+      rec.sched = sched;
+      rec.proc = workers;
+      rec.runs = runs;
+      const double iters = static_cast<double>(st.iterations());
+      rec.wall_s = iters > 0 ? wall_sum_s / iters : 0.0;
+      rec.ops_per_s =
+          rec.wall_s > 0
+              ? static_cast<double>(harness::outset_ops(n)) / rec.wall_s
+              : 0.0;
+      rec.lat_ms = st.counters["lat_ms"].value;
+      rec.pools = rt.pools().rows();
+      rec.pool_totals = rt.pools().totals();
+      rec.outsets = after;
+      rec.sched_totals = sched_after;
+      harness::json_add(std::move(rec));
+    }
   })
       ->UseManualTime()
       ->Iterations(runs);
@@ -178,6 +238,7 @@ void register_deep_config(const std::string& outset_spec,
 int main(int argc, char** argv) {
   options opts(argc, argv);
   const auto common = harness::read_common(opts, /*default_n=*/1 << 15);
+  harness::json_open(opts, "fanout_scalability");
   // Give the producer roughly the time the registration wave needs, so adds
   // contend with each other rather than racing a long-completed future.
   const std::uint64_t producer_ns = static_cast<std::uint64_t>(
@@ -197,10 +258,17 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t deep = static_cast<std::uint64_t>(deep_raw);
 
+  // The alloc dimension sweeps adaptive against fixed magazines on the
+  // registration-heavy base configs (fan-out churns waiter records and node
+  // groups, the geometry extremes of the pool set); the deep-tree configs
+  // keep the default alloc so lat_ms stays a scheduler comparison.
   const std::vector<std::string> algos{"simple", "tree", "tree:4"};
+  const std::vector<std::string> allocs{"pool", "pool:adaptive"};
   for (const auto& algo : algos) {
-    for (std::size_t p : harness::worker_sweep(common.max_proc)) {
-      register_config(algo, p, common.n, producer_ns, common.runs);
+    for (const auto& alloc : allocs) {
+      for (std::size_t p : harness::worker_sweep(common.max_proc)) {
+        register_config(algo, alloc, p, common.n, producer_ns, common.runs);
+      }
     }
   }
   const std::vector<std::string> scheds{"ws", "private"};
@@ -240,11 +308,12 @@ int main(int argc, char** argv) {
                                      rt.sched().totals());
     }
   }
+  const int json_rc = harness::json_write();
   if (g_deep_drain_dark.load(std::memory_order_relaxed)) {
     std::fprintf(stderr,
                  "FAIL: deep-tree finalize offloaded no subtrees with >= 2 "
                  "workers; the parallel drain machinery is dark\n");
     return 1;
   }
-  return 0;
+  return json_rc;
 }

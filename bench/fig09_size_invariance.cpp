@@ -32,15 +32,20 @@ void register_config(std::size_t workers, std::uint64_t n, int runs) {
   benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
     runtime rt(runtime_config{workers, "dyn"});
     harness::fanin(rt, n);
+    double wall_sum_s = 0;
     for (auto _ : st) {
       wall_timer t;
       harness::fanin(rt, n);
-      st.SetIterationTime(t.elapsed_s());
+      const double el = t.elapsed_s();
+      st.SetIterationTime(el);
+      wall_sum_s += el;
     }
     const double ops = static_cast<double>(harness::counter_ops(n));
     st.counters["ops/s/core"] = benchmark::Counter(
         ops / static_cast<double>(workers),
         benchmark::Counter::kIsIterationInvariantRate);
+    harness::json_add_rate(name, "dyn", workers, runs, ops, wall_sum_s,
+                           static_cast<double>(st.iterations()));
   })
       ->UseManualTime()
       ->Iterations(runs);
@@ -51,6 +56,7 @@ void register_config(std::size_t workers, std::uint64_t n, int runs) {
 int main(int argc, char** argv) {
   options opts(argc, argv);
   const auto common = harness::read_common(opts, /*default_n=*/1 << 19);
+  harness::json_open(opts, "fig09_size_invariance");
 
   std::vector<std::uint64_t> sizes;
   for (std::uint64_t n = common.n; n >= 1024 && sizes.size() < 4; n /= 4) {
@@ -69,5 +75,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return harness::json_write();
 }

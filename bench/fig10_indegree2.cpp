@@ -30,15 +30,20 @@ void register_config(const std::string& algo, std::size_t workers,
   benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
     runtime rt(runtime_config{workers, algo});
     harness::indegree2(rt, n);
+    double wall_sum_s = 0;
     for (auto _ : st) {
       wall_timer t;
       harness::indegree2(rt, n);
-      st.SetIterationTime(t.elapsed_s());
+      const double el = t.elapsed_s();
+      st.SetIterationTime(el);
+      wall_sum_s += el;
     }
     const double ops = static_cast<double>(harness::counter_ops(n));
     st.counters["ops/s/core"] = benchmark::Counter(
         ops / static_cast<double>(workers),
         benchmark::Counter::kIsIterationInvariantRate);
+    harness::json_add_rate(name, algo, workers, runs, ops, wall_sum_s,
+                           static_cast<double>(st.iterations()));
   })
       ->UseManualTime()
       ->Iterations(runs);
@@ -49,6 +54,7 @@ void register_config(const std::string& algo, std::size_t workers,
 int main(int argc, char** argv) {
   options opts(argc, argv);
   const auto common = harness::read_common(opts, /*default_n=*/1 << 16);
+  harness::json_open(opts, "fig10_indegree2");
 
   // Paper Figure 10 legend: Fetch & Add, SNZI depth 2, SNZI depth 4,
   // in-counter ("For SNZI, we only considered small-depths, since larger
@@ -66,5 +72,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return harness::json_write();
 }

@@ -31,15 +31,20 @@ void register_config(std::uint64_t threshold, std::size_t workers,
   benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
     runtime rt(runtime_config{workers, algo});
     harness::fanin(rt, n);
+    double wall_sum_s = 0;
     for (auto _ : st) {
       wall_timer t;
       harness::fanin(rt, n);
-      st.SetIterationTime(t.elapsed_s());
+      const double el = t.elapsed_s();
+      st.SetIterationTime(el);
+      wall_sum_s += el;
     }
     const double ops = static_cast<double>(harness::counter_ops(n));
     st.counters["ops/s/core"] = benchmark::Counter(
         ops / static_cast<double>(workers),
         benchmark::Counter::kIsIterationInvariantRate);
+    harness::json_add_rate(name, algo, workers, runs, ops, wall_sum_s,
+                           static_cast<double>(st.iterations()));
   })
       ->UseManualTime()
       ->Iterations(runs);
@@ -50,6 +55,7 @@ void register_config(std::uint64_t threshold, std::size_t workers,
 int main(int argc, char** argv) {
   options opts(argc, argv);
   const auto common = harness::read_common(opts, /*default_n=*/1 << 17);
+  harness::json_open(opts, "fig11_threshold");
 
   // Paper's bar chart values, plus the 0/1 ablation endpoints.
   const std::vector<std::uint64_t> thresholds{
@@ -65,5 +71,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return harness::json_write();
 }

@@ -59,6 +59,7 @@ void register_snzi(int depth, std::size_t threads, std::uint64_t pairs_per_threa
                            "/proc:" + std::to_string(threads);
   benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
     snzi::fixed_tree tree(depth);
+    double wall_sum_s = 0;
     for (auto _ : st) {
       const double s = hammer(threads, [&](std::size_t tid) {
         xoshiro256 rng(tid * 31 + 7);
@@ -68,12 +69,16 @@ void register_snzi(int depth, std::size_t threads, std::uint64_t pairs_per_threa
         }
       });
       st.SetIterationTime(s);
+      wall_sum_s += s;
     }
     const double ops = 2.0 * static_cast<double>(pairs_per_thread) *
                        static_cast<double>(threads);
     st.counters["ops/s/core"] = benchmark::Counter(
         ops / static_cast<double>(threads),
         benchmark::Counter::kIsIterationInvariantRate);
+    harness::json_add_rate(name, "snzi:" + std::to_string(depth), threads,
+                           runs, ops, wall_sum_s,
+                           static_cast<double>(st.iterations()));
   })
       ->UseManualTime()
       ->Iterations(runs);
@@ -83,6 +88,7 @@ void register_faa(std::size_t threads, std::uint64_t pairs_per_thread, int runs)
   const std::string name = "fig12/faa/proc:" + std::to_string(threads);
   benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
     cache_aligned<std::atomic<std::int64_t>> cell{0};
+    double wall_sum_s = 0;
     for (auto _ : st) {
       const double s = hammer(threads, [&](std::size_t) {
         for (std::uint64_t i = 0; i < pairs_per_thread; ++i) {
@@ -91,12 +97,15 @@ void register_faa(std::size_t threads, std::uint64_t pairs_per_thread, int runs)
         }
       });
       st.SetIterationTime(s);
+      wall_sum_s += s;
     }
     const double ops = 2.0 * static_cast<double>(pairs_per_thread) *
                        static_cast<double>(threads);
     st.counters["ops/s/core"] = benchmark::Counter(
         ops / static_cast<double>(threads),
         benchmark::Counter::kIsIterationInvariantRate);
+    harness::json_add_rate(name, "faa", threads, runs, ops, wall_sum_s,
+                           static_cast<double>(st.iterations()));
   })
       ->UseManualTime()
       ->Iterations(runs);
@@ -107,6 +116,7 @@ void register_faa(std::size_t threads, std::uint64_t pairs_per_thread, int runs)
 int main(int argc, char** argv) {
   options opts(argc, argv);
   const auto common = harness::read_common(opts, /*default_n=*/1 << 16);
+  harness::json_open(opts, "fig12_snzi_reproduction");
 
   for (std::size_t p : harness::worker_sweep(common.max_proc)) {
     const std::uint64_t pairs = common.n / p;
@@ -122,5 +132,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return harness::json_write();
 }

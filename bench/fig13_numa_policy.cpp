@@ -61,15 +61,20 @@ void register_config(std::size_t block_bytes, std::size_t workers,
       sched.run(engine, root, final_v);
     };
     once();
+    double wall_sum_s = 0;
     for (auto _ : st) {
       wall_timer t;
       once();
-      st.SetIterationTime(t.elapsed_s());
+      const double el = t.elapsed_s();
+      st.SetIterationTime(el);
+      wall_sum_s += el;
     }
     const double ops = static_cast<double>(harness::counter_ops(n));
     st.counters["ops/s/core"] = benchmark::Counter(
         ops / static_cast<double>(workers),
         benchmark::Counter::kIsIterationInvariantRate);
+    harness::json_add_rate(name, pools.spec(), workers, runs, ops, wall_sum_s,
+                           static_cast<double>(st.iterations()));
   })
       ->UseManualTime()
       ->Iterations(runs);
@@ -80,6 +85,7 @@ void register_config(std::size_t block_bytes, std::size_t workers,
 int main(int argc, char** argv) {
   options opts(argc, argv);
   const auto common = harness::read_common(opts, /*default_n=*/1 << 17);
+  harness::json_open(opts, "fig13_numa_policy");
 
   // Allocation-batching extremes plus the default.
   const std::vector<std::size_t> block_sizes{1 << 12, 1 << 16, 1 << 20};
@@ -96,5 +102,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return harness::json_write();
 }

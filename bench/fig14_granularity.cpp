@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace spdag;
   options opts(argc, argv);
   const auto common = harness::read_common(opts, /*default_n=*/1 << 14);
+  harness::json_open(opts, "fig14_granularity");  // run_config adds records
 
   const std::vector<std::uint64_t> work_ns{1, 10, 100, 1000, 10000};
   const std::vector<std::string> algos{"faa", "snzi:9", "dyn"};
@@ -54,5 +55,5 @@ int main(int argc, char** argv) {
     }
   }
   harness::emit(table, common.csv);
-  return 0;
+  return harness::json_write();
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   using namespace spdag;
   options opts(argc, argv);
   const auto common = harness::read_common(opts, /*default_n=*/1 << 13);
+  harness::json_open(opts, "fig15_speedup_granularity");  // via run_config
 
   const std::vector<std::uint64_t> work_levels{1, 10, 100, 1000, 10000};
   const std::vector<std::string> algos{"faa", "snzi:9", "dyn"};
@@ -60,5 +61,5 @@ int main(int argc, char** argv) {
     }
     harness::emit(table, common.csv);
   }
-  return 0;
+  return harness::json_write();
 }

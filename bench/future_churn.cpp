@@ -22,6 +22,10 @@
 //
 // Scale knobs: -n / SPDAG_N (futures per run, default 1<<15), -proc /
 // SPDAG_PROC, -runs / SPDAG_RUNS, -workns / SPDAG_WORKNS (producer busy-work).
+// Telemetry: -json <path> / SPDAG_JSON writes one structured record per
+// config (the CI perf gate consumes it; see scripts/perf_smoke_gate.py).
+// The alloc sweep covers fixed-capacity pools, adaptive magazines
+// ("pool:adaptive") and the malloc baseline.
 
 #include <benchmark/benchmark.h>
 
@@ -52,10 +56,13 @@ void register_config(const std::string& alloc_spec, std::size_t workers,
     harness::future_churn(rt, n, work_ns);  // warm-up: slabs, magazines
     const pool_stats warm = rt.pools().totals();
     std::uint64_t delivered_sum = 0;
+    double wall_sum_s = 0;
     for (auto _ : st) {
       wall_timer t;
       delivered_sum += harness::future_churn(rt, n, work_ns);
-      st.SetIterationTime(t.elapsed_s());
+      const double el = t.elapsed_s();
+      st.SetIterationTime(el);
+      wall_sum_s += el;
     }
     const pool_stats after = rt.pools().totals();
     const double futures =
@@ -88,6 +95,30 @@ void register_config(const std::string& alloc_spec, std::size_t workers,
     if (delivered_sum != st.iterations() * n) {
       st.SkipWithError("exactly-once delivery violated");
     }
+    if (harness::json_enabled()) {
+      harness::json_record rec;
+      rec.name = name;
+      rec.spec = alloc_spec;
+      rec.proc = workers;
+      rec.runs = runs;
+      const double iters = static_cast<double>(st.iterations());
+      rec.wall_s = iters > 0 ? wall_sum_s / iters : 0.0;
+      rec.ops_per_s = rec.wall_s > 0 ? futures / rec.wall_s : 0.0;
+      rec.pools = rt.pools().rows();
+      rec.pool_totals = after;
+      rec.outsets = rt.outsets().totals();
+      rec.sched_totals = rt.sched().totals();
+      rec.extra.emplace_back("upstream_per_Mfut",
+                             st.counters["upstream/Mfut"].value);
+      rec.extra.emplace_back("recycle_rate", st.counters["recycle_rate"].value);
+      rec.extra.emplace_back("remote_free_rate",
+                             st.counters["remote/free"].value);
+      rec.extra.emplace_back("mag_grows",
+                             static_cast<double>(after.mag_grows));
+      rec.extra.emplace_back("mag_shrinks",
+                             static_cast<double>(after.mag_shrinks));
+      harness::json_add(std::move(rec));
+    }
   })
       ->UseManualTime()
       ->Iterations(runs);
@@ -98,10 +129,15 @@ void register_config(const std::string& alloc_spec, std::size_t workers,
 int main(int argc, char** argv) {
   options opts(argc, argv);
   const auto common = harness::read_common(opts, /*default_n=*/1 << 15);
+  harness::json_open(opts, "future_churn");
   const std::uint64_t work_ns = static_cast<std::uint64_t>(
       opts.get_int("workns", 0));
 
-  const std::vector<std::string> algos{"pool", "malloc"};
+  // The adaptive-vs-fixed sweep: "pool" pins each magazine at its
+  // geometry-derived capacity, "pool:adaptive" lets capacities follow the
+  // per-worker refill/flush rate, "malloc" is the upstream baseline the CI
+  // perf gate compares "pool" against.
+  const std::vector<std::string> algos{"pool", "pool:adaptive", "malloc"};
   for (const auto& algo : algos) {
     for (std::size_t p : harness::worker_sweep(common.max_proc)) {
       register_config(algo, p, common.n, work_ns, common.runs);
@@ -119,12 +155,17 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   // Per-pool detail for the default-core pool run (rebuilt fresh so the
-  // numbers are one clean run's, not the sweep's accumulation).
+  // numbers are one clean run's, not the sweep's accumulation), then a
+  // quiescent trim to show the release path in the same log.
   runtime_config cfg{common.max_proc, "dyn"};
   cfg.alloc = "pool";
   runtime rt(cfg);
   harness::future_churn(rt, common.n, work_ns);
   harness::future_churn(rt, common.n, work_ns);
   harness::print_pool_stats(std::cout, rt.pools().rows());
-  return 0;
+  const std::size_t released = rt.trim_pools();
+  std::printf("# trim_pools between runs: released %zu slabs, retained=%llu\n",
+              released,
+              static_cast<unsigned long long>(rt.pools().totals().retained()));
+  return harness::json_write();
 }

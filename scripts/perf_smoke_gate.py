@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate over BENCH_*.json telemetry.
+
+Reads the future_churn JSON document (see harness::json_write) and fails
+the job when pooled-allocator throughput drops below the malloc baseline
+MEASURED IN THE SAME RUN. Comparing within one run makes the check safe on
+shared CI runners: machine speed cancels out of the ratio, so the gate
+catches a pool regression without pinning absolute numbers.
+
+Exit codes: 0 pass, 1 perf regression, 2 malformed/unusable input.
+
+Usage: perf_smoke_gate.py BENCH_future_churn.json [--min-ratio 0.9]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_smoke_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for key in ("schema", "bench", "git_sha", "records"):
+        if key not in doc:
+            print(f"perf_smoke_gate: {path} missing key '{key}'",
+                  file=sys.stderr)
+            sys.exit(2)
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_path")
+    ap.add_argument("--min-ratio", type=float, default=0.9,
+                    help="minimum pool/malloc ops-per-second ratio "
+                         "(default 0.9: a little head-room for runner noise; "
+                         "steady state has measured ~1.2x on 1 core)")
+    args = ap.parse_args()
+
+    doc = load(args.json_path)
+    print(f"perf_smoke_gate: {doc['bench']} @ {doc['git_sha'][:12]}, "
+          f"{len(doc['records'])} records")
+
+    # churn/<alloc-spec>/proc:<p> records; "pool" is the gated spec,
+    # "pool:adaptive" is reported for the trajectory but not gated (its
+    # magazines re-size mid-run, so its smoke-sized numbers are noisier).
+    by_spec = {}
+    for rec in doc["records"]:
+        if not rec.get("name", "").startswith("churn/"):
+            continue
+        by_spec.setdefault(rec["spec"], {})[rec["proc"]] = rec["ops_per_s"]
+
+    base = by_spec.get("malloc", {})
+    pool = by_spec.get("pool", {})
+    adaptive = by_spec.get("pool:adaptive", {})
+
+    failed = False
+    checked = 0
+    for proc in sorted(base):
+        if proc not in pool or base[proc] <= 0:
+            continue
+        checked += 1
+        ratio = pool[proc] / base[proc]
+        verdict = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        print(f"  proc {proc}: pool {pool[proc]:,.0f} vs malloc "
+              f"{base[proc]:,.0f} fut/s -> ratio {ratio:.3f} [{verdict}]")
+        if ratio < args.min_ratio:
+            failed = True
+        if proc in adaptive and base[proc] > 0:
+            print(f"  proc {proc}: pool:adaptive {adaptive[proc]:,.0f} fut/s "
+                  f"-> ratio {adaptive[proc] / base[proc]:.3f} [info]")
+
+    if checked == 0:
+        print("perf_smoke_gate: no comparable pool/malloc record pairs found",
+              file=sys.stderr)
+        sys.exit(2)
+    if failed:
+        print(f"perf_smoke_gate: FAIL - pool fell below "
+              f"{args.min_ratio:.2f}x malloc on the same run",
+              file=sys.stderr)
+        sys.exit(1)
+    print("perf_smoke_gate: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,12 @@ void dag_engine::enqueue_drain(outset_drain_task* t) {
   exec_.enqueue_drain(t);
 }
 
+std::size_t dag_engine::trim_pools() {
+  assert(live_vertices() == 0 &&
+         "trim_pools requires quiescence: call only between run()s");
+  return pools_->trim();
+}
+
 dag_engine::dag_engine(counter_factory& factory, executor& exec,
                        dag_engine_options options)
     : factory_(factory),

@@ -133,6 +133,17 @@ class dag_engine {
   // through here). The executor owns the task from this point.
   void enqueue_drain(outset_drain_task* t);
 
+  // Quiescent-only maintenance: trims every pool in this engine's registry
+  // (flush magazines + recycle list, release fully-free slabs upstream —
+  // see object_pool::trim), returning slabs released. ONLY legal between
+  // run()s: every scheduler's run() drains to quiescence and parks its
+  // workers before returning, which is exactly the no-racing-readers window
+  // in which unmapping free slabs cannot violate the stale-read stability
+  // argument live slabs rely on. Asserts live_vertices() == 0 as a cheap
+  // proxy for that contract. If the registry is shared (the process-wide
+  // default), the same must hold for every other engine drawing from it.
+  std::size_t trim_pools();
+
   // Runs v's body with this-vertex context, signals if v is not dead, and
   // recycles v. Called by the executor's workers.
   void execute(vertex* v);

@@ -1,6 +1,11 @@
 #include "harness/bench_runner.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 
 #include "harness/workloads.hpp"
@@ -57,6 +62,34 @@ bench_result run_config(const bench_config& cfg) {
       rt.pools().totals().slab_growths - warm_growths;
   res.outsets = rt.outsets().totals();
   res.sched = rt.sched().totals();
+
+  // Benches built on run_config get telemetry for free: one JSON record per
+  // configuration when a -json sink is open.
+  if (json_enabled()) {
+    json_record rec;
+    // Appends, not one operator+ chain (gcc 12 -Wrestrict, PR 105651).
+    rec.name = cfg.workload;
+    rec.name += "/";
+    rec.name += cfg.algo;
+    rec.name += "/alloc:";
+    rec.name += cfg.alloc;
+    rec.name += "/proc:";
+    rec.name += std::to_string(cfg.workers);
+    rec.spec = cfg.algo;
+    rec.proc = cfg.workers;
+    rec.runs = cfg.repetitions;
+    rec.ops_per_s = res.ops_per_s;
+    rec.wall_s = res.mean_s;
+    rec.pools = res.pools;
+    rec.pool_totals = rt.pools().totals();
+    rec.outsets = res.outsets;
+    rec.sched_totals = res.sched;
+    rec.extra.emplace_back("ops_per_s_per_core", res.ops_per_s_per_core);
+    rec.extra.emplace_back("rsd", res.rsd);
+    rec.extra.emplace_back("measured_slab_growths",
+                           static_cast<double>(res.measured_slab_growths));
+    json_add(std::move(rec));
+  }
   return res;
 }
 
@@ -67,7 +100,18 @@ void print_pool_stats(std::ostream& os,
        << " recycles=" << row.stats.recycles
        << " slab_growths=" << row.stats.slab_growths
        << " remote_frees=" << row.stats.remote_frees
-       << " live=" << row.stats.live() << "\n";
+       << " live=" << row.stats.live()
+       << " retained=" << row.stats.retained();
+    if (row.stats.mag_cap_hi != 0) {
+      os << " mag_cap=" << row.stats.mag_cap_lo << ".."
+         << row.stats.mag_cap_hi << " grows=" << row.stats.mag_grows
+         << " shrinks=" << row.stats.mag_shrinks;
+    }
+    if (row.stats.trims != 0) {
+      os << " trims=" << row.stats.trims
+         << " slabs_released=" << row.stats.slabs_released;
+    }
+    os << "\n";
   }
 }
 
@@ -117,6 +161,183 @@ void emit(result_table& table, bool csv) {
     table.print_csv(std::cout);
   }
   std::cout.flush();
+}
+
+// --- JSON telemetry sink ----------------------------------------------------
+
+namespace {
+
+struct json_sink {
+  std::mutex mu;
+  std::string path;
+  std::string bench;
+  std::vector<json_record> records;
+  bool enabled = false;
+};
+
+json_sink& sink() {
+  static json_sink s;
+  return s;
+}
+
+// Build-stamped by CMake (git rev-parse at configure time); a CI checkout
+// env var wins because detached/shallow checkouts can defeat the stamp.
+std::string git_sha() {
+  if (const char* env = std::getenv("GITHUB_SHA"); env != nullptr && *env) {
+    return env;
+  }
+#ifdef SPDAG_GIT_SHA
+  return SPDAG_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+void escape_to(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void emit_pool_stats(std::ostream& os, const pool_stats& s) {
+  os << "{\"allocs\":" << s.allocs << ",\"frees\":" << s.frees
+     << ",\"recycles\":" << s.recycles << ",\"remote_frees\":" << s.remote_frees
+     << ",\"carved\":" << s.carved << ",\"slab_growths\":" << s.slab_growths
+     << ",\"magazine_refills\":" << s.magazine_refills
+     << ",\"magazine_flushes\":" << s.magazine_flushes
+     << ",\"trims\":" << s.trims << ",\"slabs_released\":" << s.slabs_released
+     << ",\"mag_grows\":" << s.mag_grows << ",\"mag_shrinks\":" << s.mag_shrinks
+     << ",\"magazine_cells\":" << s.magazine_cells
+     << ",\"recycle_cells\":" << s.recycle_cells
+     << ",\"mag_cap_lo\":" << s.mag_cap_lo << ",\"mag_cap_hi\":" << s.mag_cap_hi
+     << ",\"live\":" << s.live() << ",\"retained\":" << s.retained() << "}";
+}
+
+void emit_record(std::ostream& os, const json_record& r) {
+  os << "{\"name\":";
+  escape_to(os, r.name);
+  os << ",\"spec\":";
+  escape_to(os, r.spec);
+  os << ",\"sched\":";
+  escape_to(os, r.sched);
+  os << ",\"proc\":" << r.proc << ",\"runs\":" << r.runs
+     << ",\"ops_per_s\":" << r.ops_per_s << ",\"lat_ms\":" << r.lat_ms
+     << ",\"wall_s\":" << r.wall_s;
+  os << ",\"pool_totals\":";
+  emit_pool_stats(os, r.pool_totals);
+  os << ",\"pools\":[";
+  for (std::size_t i = 0; i < r.pools.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"name\":";
+    escape_to(os, r.pools[i].name);
+    os << ",\"object_bytes\":" << r.pools[i].object_bytes << ",\"stats\":";
+    emit_pool_stats(os, r.pools[i].stats);
+    os << "}";
+  }
+  os << "]";
+  os << ",\"outset_totals\":{\"adds\":" << r.outsets.adds
+     << ",\"add_cas_retries\":" << r.outsets.add_cas_retries
+     << ",\"rejected_adds\":" << r.outsets.rejected_adds
+     << ",\"delivered\":" << r.outsets.delivered
+     << ",\"subtrees_offloaded\":" << r.outsets.subtrees_offloaded << "}";
+  os << ",\"scheduler_totals\":{\"executions\":" << r.sched_totals.executions
+     << ",\"steals\":" << r.sched_totals.steals
+     << ",\"failed_steal_sweeps\":" << r.sched_totals.failed_steal_sweeps
+     << ",\"parks\":" << r.sched_totals.parks
+     << ",\"drains_executed\":" << r.sched_totals.drains_executed
+     << ",\"drains_stolen\":" << r.sched_totals.drains_stolen
+     << ",\"drains_handed_off\":" << r.sched_totals.drains_handed_off << "}";
+  os << ",\"extra\":{";
+  for (std::size_t i = 0; i < r.extra.size(); ++i) {
+    if (i > 0) os << ",";
+    escape_to(os, r.extra[i].first);
+    os << ":" << r.extra[i].second;
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+void json_open(const options& opts, std::string bench_name) {
+  json_sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.path = opts.get_string("json", "");
+  s.bench = std::move(bench_name);
+  s.enabled = !s.path.empty();
+  s.records.clear();
+}
+
+bool json_enabled() {
+  json_sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.enabled;
+}
+
+void json_add(json_record rec) {
+  json_sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.enabled) return;
+  s.records.push_back(std::move(rec));
+}
+
+void json_add_rate(const std::string& name, const std::string& spec,
+                   std::size_t proc, int runs, double ops, double wall_sum_s,
+                   double iters) {
+  if (!json_enabled()) return;
+  json_record rec;
+  rec.name = name;
+  rec.spec = spec;
+  rec.proc = proc;
+  rec.runs = runs;
+  rec.wall_s = iters > 0 ? wall_sum_s / iters : 0.0;
+  rec.ops_per_s = rec.wall_s > 0 ? ops / rec.wall_s : 0.0;
+  json_add(std::move(rec));
+}
+
+int json_write() {
+  json_sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.enabled) return 0;
+  std::ofstream out(s.path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "json_write: cannot open " << s.path << "\n";
+    return 1;
+  }
+  out.precision(15);  // doubles round-trip; default 6 digits truncates ops/s
+  out << "{\"schema\":1,\"bench\":";
+  escape_to(out, s.bench);
+  out << ",\"git_sha\":";
+  escape_to(out, git_sha());
+  out << ",\"generated_unix\":" << static_cast<long long>(std::time(nullptr));
+  out << ",\"records\":[\n";
+  for (std::size_t i = 0; i < s.records.size(); ++i) {
+    if (i > 0) out << ",\n";
+    emit_record(out, s.records[i]);
+  }
+  out << "\n]}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "json_write: write to " << s.path << " failed\n";
+    return 1;
+  }
+  std::cout << "# wrote " << s.records.size() << " bench records to "
+            << s.path << "\n";
+  return 0;
 }
 
 }  // namespace spdag::harness

@@ -83,4 +83,52 @@ common_options read_common(const options& opts, std::uint64_t default_n);
 // Emits one table in both grid and (optionally) CSV form.
 void emit(result_table& table, bool csv);
 
+// Machine-readable bench telemetry (-json <path> / SPDAG_JSON) -------------
+//
+// Every bench main opens the process-wide sink once, appends one record per
+// configuration as it completes, and writes the document on exit:
+//
+//   harness::json_open(opts, "future_churn");
+//   ...
+//   if (harness::json_enabled()) harness::json_add(std::move(rec));
+//   ...
+//   return harness::json_write();   // 0 when disabled or written cleanly
+//
+// The document is one JSON object: {"schema", "bench", "git_sha",
+// "generated_unix", "records": [...]}. CI redirects each bench to
+// BENCH_<name>.json, uploads them as artifacts, and gates pool-vs-malloc
+// throughput on the same run (scripts/perf_smoke_gate.py), so the perf
+// claims leave a trajectory instead of living in commit messages.
+struct json_record {
+  std::string name;       // full config name, e.g. "churn/pool/proc:2"
+  std::string spec;       // the swept spec (counter / alloc / outset)
+  std::string sched;      // scheduler, where swept ("" = default)
+  std::size_t proc = 0;
+  int runs = 0;
+  double ops_per_s = 0;
+  double lat_ms = 0;      // finalize-to-last-delivery latency (deep fanout)
+  double wall_s = 0;      // mean measured wall seconds per repetition
+  std::vector<pool_registry_row> pools;  // per-pool stats rows (optional)
+  pool_stats pool_totals{};              // registry totals (optional)
+  outset_totals outsets{};
+  scheduler_totals sched_totals{};
+  // Bench-specific scalar counters ("recycle_rate", "upstream/Mfut", ...).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+// Reads `-json <path>` (env SPDAG_JSON); empty path leaves the sink
+// disabled and every other json_* call a no-op.
+void json_open(const options& opts, std::string bench_name);
+bool json_enabled();
+void json_add(json_record rec);  // thread-safe
+// Compact form for plain rate benches: `ops` work items per repetition,
+// `wall_sum_s` total measured seconds over `iters` repetitions.
+void json_add_rate(const std::string& name, const std::string& spec,
+                   std::size_t proc, int runs, double ops, double wall_sum_s,
+                   double iters);
+// Writes the document. Returns 0 when disabled or written cleanly, 1 on an
+// I/O failure (reported to stderr) so mains can propagate it as their exit
+// code.
+int json_write();
+
 }  // namespace spdag::harness

@@ -41,17 +41,40 @@ struct pool_stats {
   std::uint64_t recycles = 0;       // allocs served from recycled storage
   std::uint64_t remote_frees = 0;   // frees by a different worker than the
                                     // cell's last allocator (cross-worker)
-  std::uint64_t carved = 0;         // cells carved fresh from slabs
+  std::uint64_t carved = 0;         // cells carved fresh from slabs (monotone
+                                    // over the pool's lifetime, NOT reduced
+                                    // by trim())
   std::uint64_t slab_growths = 0;   // trips to the upstream allocator
   std::uint64_t magazine_refills = 0;
   std::uint64_t magazine_flushes = 0;
+  std::uint64_t trims = 0;          // trim() calls
+  std::uint64_t slabs_released = 0; // fully-free slabs returned upstream
+  std::uint64_t mag_grows = 0;      // adaptive effective-cap doublings
+  std::uint64_t mag_shrinks = 0;    // adaptive effective-cap halvings
+
+  // Gauges (snapshots, not counters) ---------------------------------------
+  std::uint64_t magazine_cells = 0; // cells currently parked in magazines
+  std::uint64_t recycle_cells = 0;  // cells currently on the global recycle
+                                    // list
+  std::uint64_t mag_cap_lo = 0;     // smallest / largest effective magazine
+  std::uint64_t mag_cap_hi = 0;     // capacity across live magazines (0 =
+                                    // no magazine created yet)
 
   // Cells currently handed out (approximate under concurrency).
   std::uint64_t live() const noexcept {
     return allocs >= frees ? allocs - frees : 0;
   }
+  // Cells the POOL itself is holding for reuse: magazine-resident plus the
+  // global recycle list. This — not cached() — is what trim() empties; after
+  // a quiescent trim it drops to the free cells left in slabs that live
+  // allocations still pin (~0 when everything was freed).
+  std::uint64_t retained() const noexcept {
+    return magazine_cells + recycle_cells;
+  }
   // Cells carved but not currently live: cached in magazines, the global
   // recycle list, or structure-local free lists built on top of the pool.
+  // After a trim() this over-counts by the released cells (carved stays
+  // monotone); use retained() for an exact pool-residency gauge.
   std::uint64_t cached() const noexcept {
     return carved >= live() ? carved - live() : 0;
   }
@@ -65,6 +88,20 @@ struct pool_stats {
     slab_growths += o.slab_growths;
     magazine_refills += o.magazine_refills;
     magazine_flushes += o.magazine_flushes;
+    trims += o.trims;
+    slabs_released += o.slabs_released;
+    mag_grows += o.mag_grows;
+    mag_shrinks += o.mag_shrinks;
+    magazine_cells += o.magazine_cells;
+    recycle_cells += o.recycle_cells;
+    // Capacity gauges combine as an envelope: min of set minima, max of
+    // maxima (0 means "no magazines yet" and is skipped).
+    if (o.mag_cap_lo != 0) {
+      mag_cap_lo = mag_cap_lo == 0 ? o.mag_cap_lo
+                                   : (o.mag_cap_lo < mag_cap_lo ? o.mag_cap_lo
+                                                                : mag_cap_lo);
+    }
+    if (o.mag_cap_hi > mag_cap_hi) mag_cap_hi = o.mag_cap_hi;
     return *this;
   }
 };
@@ -89,6 +126,20 @@ class object_pool {
   virtual void deallocate(void* p) noexcept = 0;
 
   virtual pool_stats stats() const = 0;
+
+  // Quiescent-only maintenance: flushes every per-worker magazine and the
+  // recycle list back into the slabs and returns every FULLY-FREE slab to
+  // the upstream allocator, returning how many slabs were released. The
+  // caller must guarantee quiescence — no thread is inside allocate()/
+  // deallocate() and none will be until trim returns (in the runtime:
+  // between run()s, via dag_engine::trim_pools()). Live cells are legal and
+  // simply pin their slab. Safety of the stale-read stability argument: the
+  // argument only licenses RACING readers to dereference a just-recycled
+  // cell; at quiescence there are no racing readers, and any cell a live
+  // pointer can still reach is live (not free), so its slab is never
+  // released. Outside quiescence trim would be a use-after-free factory —
+  // hence the hard gate. Default: nothing pooled, nothing to release.
+  virtual std::size_t trim() { return 0; }
 
   const std::string& name() const noexcept { return name_; }
   std::size_t object_bytes() const noexcept { return object_bytes_; }

@@ -39,6 +39,13 @@ pool_stats pool_registry::totals() const {
   return t;
 }
 
+std::size_t pool_registry::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t released = 0;
+  for (const auto& p : pools_) released += p->trim();
+  return released;
+}
+
 std::unique_ptr<object_pool> malloc_pool_registry::create(std::string name,
                                                           std::size_t bytes,
                                                           std::size_t align) {
@@ -46,7 +53,21 @@ std::unique_ptr<object_pool> malloc_pool_registry::create(std::string name,
 }
 
 std::string slab_pool_registry::spec() const {
-  return slab_bytes_ == 0 ? "pool" : "pool:" + std::to_string(slab_bytes_);
+  // Canonical echo: fields are positional, so a set magazine budget forces
+  // the block field to be printed too (at its resolved default if unset).
+  // Appends, not one operator+ chain — gcc 12 -Wrestrict (PR 105651).
+  std::string s = "pool";
+  if (slab_bytes_ != 0 || magazine_bytes_ != 0) {
+    s += ':';
+    s += std::to_string(slab_bytes_ == 0 ? slab_cache::default_slab_bytes
+                                         : slab_bytes_);
+  }
+  if (magazine_bytes_ != 0) {
+    s += ':';
+    s += std::to_string(magazine_bytes_);
+  }
+  if (adaptive_) s += ":adaptive";
+  return s;
 }
 
 std::unique_ptr<object_pool> slab_pool_registry::create(std::string name,
@@ -54,38 +75,81 @@ std::unique_ptr<object_pool> slab_pool_registry::create(std::string name,
                                                         std::size_t align) {
   return std::make_unique<slab_cache>(
       std::move(name), bytes, align,
-      slab_bytes_ == 0 ? slab_cache::default_slab_bytes : slab_bytes_);
+      slab_bytes_ == 0 ? slab_cache::default_slab_bytes : slab_bytes_,
+      magazine_bytes_, adaptive_);
 }
+
+namespace {
+
+// Strict numeric field: all digits, within [lo, hi]. Anything else —
+// empty, trailing garbage, overflow, negative — is invalid_argument.
+std::size_t parse_bytes_field(const std::string& field, unsigned long long lo,
+                              unsigned long long hi, const char* what,
+                              const std::string& spec) {
+  unsigned long long bytes = 0;
+  if (!field.empty() &&
+      field.find_first_not_of("0123456789") == std::string::npos) {
+    try {
+      bytes = std::stoull(field);
+    } catch (const std::exception&) {
+      bytes = 0;
+    }
+  }
+  if (bytes < lo || bytes > hi) {
+    // Built by append (not one operator+ chain): gcc 12's -Wrestrict trips
+    // a false positive on long string concatenations (GCC PR 105651).
+    std::string msg = "alloc pool ";
+    msg += what;
+    msg += " must be in [";
+    msg += std::to_string(lo);
+    msg += ", ";
+    msg += std::to_string(hi);
+    msg += "]: ";
+    msg += spec;
+    throw std::invalid_argument(msg);
+  }
+  return static_cast<std::size_t>(bytes);
+}
+
+}  // namespace
 
 std::unique_ptr<pool_registry> make_pool_registry(const std::string& spec) {
   std::string s = spec;
   if (s.rfind("alloc:", 0) == 0) s = s.substr(6);
   if (s == "malloc") return std::make_unique<malloc_pool_registry>();
-  if (s == "pool") return std::make_unique<slab_pool_registry>();
-  if (s.rfind("pool:", 0) == 0) {
-    // Strict parse: the whole field must be digits, and any value stol
-    // could overflow on is already outside the rails below.
-    const std::string field = s.substr(5);
-    unsigned long long bytes = 0;
-    if (field.empty() ||
-        field.find_first_not_of("0123456789") != std::string::npos) {
-      bytes = 0;
-    } else {
-      try {
-        bytes = std::stoull(field);
-      } catch (const std::exception&) {
-        bytes = 0;
-      }
-    }
-    // Lower rail: a block must amortize its carve mutex trip over a useful
-    // batch. Upper rail: keep one pool's upstream unit below 16 MiB.
-    if (bytes < 4096 || bytes > (1ULL << 24)) {
-      throw std::invalid_argument("alloc pool block must be in [4096, 2^24]: " +
-                                  spec);
-    }
-    return std::make_unique<slab_pool_registry>(static_cast<std::size_t>(bytes));
+  if (s != "pool" && s.rfind("pool:", 0) != 0) {
+    throw std::invalid_argument("unknown alloc spec: " + spec);
   }
-  throw std::invalid_argument("unknown alloc spec: " + spec);
+  // pool[:block[:mag]][:adaptive] — split the tail on ':'.
+  std::vector<std::string> fields;
+  for (std::size_t at = 4; at < s.size();) {
+    const std::size_t next = s.find(':', at + 1);
+    fields.push_back(s.substr(at + 1, next == std::string::npos
+                                          ? std::string::npos
+                                          : next - at - 1));
+    at = next;
+  }
+  bool adaptive = false;
+  if (!fields.empty() && fields.back() == "adaptive") {
+    adaptive = true;
+    fields.pop_back();
+  }
+  if (fields.size() > 2) {
+    throw std::invalid_argument("alloc pool spec has too many fields: " + spec);
+  }
+  // Block rails: a block must amortize its carve mutex trip over a useful
+  // batch, and one pool's upstream unit stays below 16 MiB. Magazine rails:
+  // the budget's derived CELL capacity is clamped to [8, 128] anyway, so
+  // the rails just reject obvious nonsense.
+  std::size_t slab_bytes = 0;
+  std::size_t mag_bytes = 0;
+  if (fields.size() >= 1) {
+    slab_bytes = parse_bytes_field(fields[0], 4096, 1ULL << 24, "block", spec);
+  }
+  if (fields.size() == 2) {
+    mag_bytes = parse_bytes_field(fields[1], 256, 1ULL << 20, "magazine", spec);
+  }
+  return std::make_unique<slab_pool_registry>(slab_bytes, mag_bytes, adaptive);
 }
 
 pool_registry& default_pool_registry() {

@@ -4,10 +4,17 @@
 // mirroring the in-counter/out-set factory pattern.
 //
 // Spec strings (accepted with or without the "alloc:" prefix):
-//   "malloc"          every pool is a malloc_pool passthrough (baseline)
-//   "pool"            slab pools with the default slab block size
-//   "pool:<bytes>"    slab pools with the given upstream block size
-//                     (bytes in [4096, 1<<24])
+//   "malloc"              every pool is a malloc_pool passthrough (baseline)
+//   "pool"                slab pools, default block + magazine budget
+//   "pool:<block>"        slab pools with the given upstream block size
+//                         (bytes in [4096, 1<<24])
+//   "pool:<block>:<mag>"  ... plus a per-magazine byte budget (bytes in
+//                         [256, 1<<20]; the magazine CELL capacity derived
+//                         from it is clamped to [8, 128], see slab_pool.hpp)
+//   "...:adaptive"        any pool form may append ":adaptive" (shortest:
+//                         "pool:adaptive") — magazines then resize their
+//                         effective capacity at runtime on refill/flush
+//                         ping-pong instead of pinning it at the derived cap
 // Throws std::invalid_argument on anything else.
 //
 // One registry per runtime: the runtime constructs it first and destroys it
@@ -51,6 +58,14 @@ class pool_registry {
   // All pools summed — the headline bench stat.
   pool_stats totals() const;
 
+  // Quiescent-only (see object_pool::trim): trims every pool, returning the
+  // total number of slabs released upstream. The quiescence contract covers
+  // EVERY engine and structure drawing from this registry — for a
+  // runtime-owned registry that is its one engine between run()s
+  // (dag_engine::trim_pools); for the process-wide default registry the
+  // caller must know no engine sharing it is running.
+  std::size_t trim();
+
   // The spec string this registry was built from ("malloc", "pool", ...).
   virtual std::string spec() const = 0;
 
@@ -75,8 +90,13 @@ class malloc_pool_registry final : public pool_registry {
 
 class slab_pool_registry final : public pool_registry {
  public:
-  explicit slab_pool_registry(std::size_t slab_bytes = 0) noexcept
-      : slab_bytes_(slab_bytes) {}  // 0 = slab_cache's default
+  // 0 for either byte knob = slab_cache's default.
+  explicit slab_pool_registry(std::size_t slab_bytes = 0,
+                              std::size_t magazine_bytes = 0,
+                              bool adaptive = false) noexcept
+      : slab_bytes_(slab_bytes),
+        magazine_bytes_(magazine_bytes),
+        adaptive_(adaptive) {}
   std::string spec() const override;
 
  protected:
@@ -85,6 +105,8 @@ class slab_pool_registry final : public pool_registry {
 
  private:
   std::size_t slab_bytes_;
+  std::size_t magazine_bytes_;
+  bool adaptive_;
 };
 
 // Parses an alloc spec (see file comment).

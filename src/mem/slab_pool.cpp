@@ -1,5 +1,6 @@
 #include "mem/slab_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <new>
 #include <stdexcept>
@@ -40,7 +41,8 @@ void bump(std::atomic<std::uint64_t>& c) noexcept {
 }  // namespace
 
 slab_cache::slab_cache(std::string name, std::size_t object_bytes,
-                       std::size_t object_align, std::size_t slab_bytes)
+                       std::size_t object_align, std::size_t slab_bytes,
+                       std::size_t magazine_bytes, bool adaptive)
     : object_pool(std::move(name), object_bytes, object_align) {
   if (object_bytes == 0) {
     throw std::invalid_argument("slab_cache: zero object size");
@@ -51,19 +53,50 @@ slab_cache::slab_cache(std::string name, std::size_t object_bytes,
   stride_ = round_up(hdr_space_ + object_bytes, align);
   slab_align_ = align < cache_line_size ? cache_line_size : align;
   slab_bytes_ = round_up(slab_bytes < stride_ ? stride_ : slab_bytes, slab_align_);
+  // Magazine capacity by object geometry: as many cells as the byte budget
+  // holds, clamped — deep magazines for small cells, shallow for big ones.
+  mag_bytes_ = magazine_bytes == 0 ? default_magazine_bytes : magazine_bytes;
+  const std::size_t by_budget = mag_bytes_ / stride_;
+  mag_slots_ = by_budget < mag_cap_min
+                   ? mag_cap_min
+                   : (by_budget > mag_cap_max
+                          ? mag_cap_max
+                          : static_cast<std::uint32_t>(by_budget));
+  adaptive_ = adaptive;
+  // Adaptive magazines start small (room to grow under thrash AND shrink
+  // head-room already used); fixed magazines use the full derived capacity.
+  initial_cap_ =
+      adaptive_ ? (mag_slots_ / 4 < mag_cap_min ? mag_cap_min : mag_slots_ / 4)
+                : mag_slots_;
 }
 
 slab_cache::~slab_cache() {
   for (auto& slot : mags_) {
-    delete slot.load(std::memory_order_acquire);
+    magazine* m = slot.load(std::memory_order_acquire);
+    if (m != nullptr) magazine_destroy(m);
   }
   for (void* slab : slabs_) std::free(slab);
+}
+
+slab_cache::magazine* slab_cache::magazine_create(std::uint32_t slots,
+                                                  std::uint32_t cap0) {
+  // Variably-sized: the item array trails the header, sized for the pool's
+  // geometry-derived slot count (the adaptive cap moves beneath it).
+  const std::size_t bytes =
+      sizeof(magazine) + static_cast<std::size_t>(slots) * sizeof(void*);
+  void* raw = ::operator new(bytes, std::align_val_t{alignof(magazine)});
+  return ::new (raw) magazine(cap0);
+}
+
+void slab_cache::magazine_destroy(magazine* m) noexcept {
+  m->~magazine();
+  ::operator delete(m, std::align_val_t{alignof(magazine)});
 }
 
 slab_cache::magazine& slab_cache::mag(int slot) {
   magazine* m = mags_[slot].load(std::memory_order_acquire);
   if (m == nullptr) {
-    m = new magazine();
+    m = magazine_create(mag_slots_, initial_cap_);
     mags_[slot].store(m, std::memory_order_release);
   }
   return *m;
@@ -81,8 +114,14 @@ void* slab_cache::allocate() {
   const int slot = mem::thread_slot();
   if (slot >= 0) {
     magazine& m = mag(slot);
-    if (m.count == 0) refill(m);
-    void* p = m.items[--m.count];
+    ++m.since_cycle;
+    std::uint32_t cnt = m.count.load(std::memory_order_relaxed);
+    if (cnt == 0) {
+      refill(m);
+      cnt = m.count.load(std::memory_order_relaxed);
+    }
+    void* p = m.items()[cnt - 1];
+    m.count.store(cnt - 1, std::memory_order_relaxed);
     bump(m.allocs);
     if (restamp(p, slot)) bump(m.recycles);
     return p;
@@ -109,42 +148,87 @@ void slab_cache::deallocate(void* p) noexcept {
   magazine* m =
       slot >= 0 ? mags_[slot].load(std::memory_order_acquire) : nullptr;
   if (m != nullptr) {
+    ++m->since_cycle;
     bump(m->frees);
     if (remote) bump(m->remote_frees);
-    if (m->count == magazine_cap) flush(*m);
-    m->items[m->count++] = p;
+    std::uint32_t cnt = m->count.load(std::memory_order_relaxed);
+    // >= rather than ==: an adaptive shrink can leave count above the new
+    // effective cap; the next free sheds the excess in one flush.
+    if (cnt >= m->cap.load(std::memory_order_relaxed)) {
+      flush(*m);
+      cnt = m->count.load(std::memory_order_relaxed);
+    }
+    m->items()[cnt] = p;
+    m->count.store(cnt + 1, std::memory_order_relaxed);
     return;
   }
   g_frees_.fetch_add(1, std::memory_order_relaxed);
   if (remote) g_remote_frees_.fetch_add(1, std::memory_order_relaxed);
-  push_global(p, p);
+  push_global(p, p, 1);
+}
+
+// Owner-thread resize decision, taken at every global-list trip (refill or
+// flush). `since_cycle` is the local traffic since the previous trip: less
+// than one capacity of it means the magazine ping-pongs against the global
+// recycle list (grow for hysteresis); more than 64 capacities means the
+// magazine is oversized for this worker's traffic (shrink to cut stranding).
+// The band between the two thresholds is deliberately wide — caps settle
+// instead of oscillating.
+void slab_cache::adapt(magazine& m) noexcept {
+  const std::uint32_t gap = m.since_cycle;
+  m.since_cycle = 0;
+  if (!adaptive_) return;
+  // The first trip after creation (or a trim reset) necessarily has a tiny
+  // gap — the magazine was empty, not thrashing. Arm the signal instead.
+  if (!m.primed) {
+    m.primed = true;
+    return;
+  }
+  const std::uint32_t cap = m.cap.load(std::memory_order_relaxed);
+  if (gap < cap && cap < mag_slots_) {
+    const std::uint32_t next = cap * 2 > mag_slots_ ? mag_slots_ : cap * 2;
+    m.cap.store(next, std::memory_order_relaxed);
+    bump(m.grows);
+  } else if (gap > 64u * cap && cap > mag_cap_min) {
+    m.cap.store(cap / 2, std::memory_order_relaxed);
+    bump(m.shrinks);
+  }
 }
 
 void slab_cache::refill(magazine& m) {
   bump(m.refills);
-  while (m.count < batch) {
+  adapt(m);
+  const std::uint32_t batch = m.cap.load(std::memory_order_relaxed) / 2;
+  void** items = m.items();
+  std::uint32_t cnt = 0;
+  while (cnt < batch) {
     void* p = pop_global();
     if (p == nullptr) break;
-    m.items[m.count++] = p;
+    items[cnt++] = p;
   }
-  if (m.count == 0) {
-    std::uint32_t got = 0;
-    carve(m.items, batch, got);
-    m.count = got;
+  if (cnt == 0) {
+    carve(items, batch, cnt);
   }
+  m.count.store(cnt, std::memory_order_relaxed);
 }
 
 void slab_cache::flush(magazine& m) noexcept {
   bump(m.flushes);
-  // Hand the newest half back; link it into one chain, publish with one CAS.
-  const std::uint32_t keep = magazine_cap - batch;
-  void* first = m.items[m.count - 1];
-  void* last = m.items[keep];
-  for (std::uint32_t i = m.count - 1; i > keep; --i) {
-    link_of(m.items[i])->store(m.items[i - 1], std::memory_order_relaxed);
+  adapt(m);
+  // Hand everything above half the (possibly just-resized) cap back; link
+  // it into one chain, publish with one CAS. A grow can raise the cap past
+  // the current fill, in which case there is nothing to shed.
+  const std::uint32_t keep = m.cap.load(std::memory_order_relaxed) / 2;
+  const std::uint32_t cnt = m.count.load(std::memory_order_relaxed);
+  if (cnt <= keep) return;
+  void** items = m.items();
+  void* first = items[cnt - 1];
+  void* last = items[keep];
+  for (std::uint32_t i = cnt - 1; i > keep; --i) {
+    link_of(items[i])->store(items[i - 1], std::memory_order_relaxed);
   }
-  m.count = keep;
-  push_global(first, last);
+  m.count.store(keep, std::memory_order_relaxed);
+  push_global(first, last, cnt - keep);
 }
 
 void slab_cache::carve(void** out, std::uint32_t want, std::uint32_t& got) {
@@ -179,12 +263,14 @@ void* slab_cache::pop_global() noexcept {
     if (global_head_.compare_exchange_weak(head, fresh,
                                            std::memory_order_acquire,
                                            std::memory_order_acquire)) {
+      global_cells_.fetch_sub(1, std::memory_order_relaxed);
       return top;
     }
   }
 }
 
-void slab_cache::push_global(void* first, void* last) noexcept {
+void slab_cache::push_global(void* first, void* last,
+                             std::uint32_t n) noexcept {
   std::uint64_t head = global_head_.load(std::memory_order_acquire);
   for (;;) {
     link_of(last)->store(ptr_of(head), std::memory_order_relaxed);
@@ -192,9 +278,108 @@ void slab_cache::push_global(void* first, void* last) noexcept {
     if (global_head_.compare_exchange_weak(head, fresh,
                                            std::memory_order_release,
                                            std::memory_order_acquire)) {
+      global_cells_.fetch_add(n, std::memory_order_relaxed);
       return;
     }
   }
+}
+
+// Quiescent-only (contract in pool.hpp): no thread is inside allocate/
+// deallocate, and the caller's synchronization (scheduler park/join, thread
+// join in tests) ordered every worker's last pool access before this call —
+// which is what licenses the plain cross-thread magazine accesses below.
+std::size_t slab_cache::trim() {
+  trims_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(grow_mu_);
+
+  // 1. Empty every magazine into a scratch list and reset its adaptive
+  //    state, so post-trim traffic re-learns its capacity from scratch.
+  std::vector<void*> free_cells;
+  for (auto& slot : mags_) {
+    magazine* m = slot.load(std::memory_order_acquire);
+    if (m == nullptr) continue;
+    const std::uint32_t cnt = m->count.load(std::memory_order_relaxed);
+    void** items = m->items();
+    for (std::uint32_t i = 0; i < cnt; ++i) free_cells.push_back(items[i]);
+    m->count.store(0, std::memory_order_relaxed);
+    m->since_cycle = 0;
+    m->primed = false;
+    m->cap.store(initial_cap_, std::memory_order_relaxed);
+  }
+
+  // 2. Drain the global recycle list.
+  for (void* p = pop_global(); p != nullptr; p = pop_global()) {
+    free_cells.push_back(p);
+  }
+  if (slabs_.empty()) return 0;
+
+  // 3. Per-slab occupancy: a slab whose every carved cell is in the free
+  //    set owes nothing to any live pointer and can go back upstream. Cells
+  //    don't record their slab, so locate each by address range.
+  std::vector<char*> bases;
+  bases.reserve(slabs_.size());
+  for (void* s : slabs_) bases.push_back(static_cast<char*>(s));
+  std::sort(bases.begin(), bases.end());
+  auto slab_index = [&](void* cell) {
+    auto it = std::upper_bound(bases.begin(), bases.end(),
+                               static_cast<char*>(cell));
+    return static_cast<std::size_t>(it - bases.begin()) - 1;
+  };
+  std::vector<std::size_t> freed(bases.size(), 0);
+  for (void* c : free_cells) ++freed[slab_index(c)];
+
+  // Every slab is fully carved except the one the cursor still points into.
+  const std::size_t cells_per_slab = slab_bytes_ / stride_;
+  const char* cursor_base =
+      cursor_ == nullptr ? nullptr : static_cast<char*>(slabs_.back());
+  std::vector<char> release(bases.size(), 0);
+  std::size_t released = 0;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    const std::size_t carved_here =
+        bases[i] == cursor_base
+            ? static_cast<std::size_t>(cursor_ - bases[i]) / stride_
+            : cells_per_slab;
+    release[i] = freed[i] == carved_here ? 1 : 0;
+    released += release[i];
+  }
+
+  // 4. Cells in retained slabs (pinned by live neighbors) go back onto the
+  //    global recycle list as one chain; cells in released slabs vanish
+  //    with their storage.
+  void* head = nullptr;
+  void* tail = nullptr;
+  std::uint32_t kept_cells = 0;
+  for (void* c : free_cells) {
+    if (release[slab_index(c)]) continue;
+    link_of(c)->store(head, std::memory_order_relaxed);
+    if (head == nullptr) tail = c;
+    head = c;
+    ++kept_cells;
+  }
+  if (kept_cells > 0) push_global(head, tail, kept_cells);
+
+  // 5. Return the free slabs upstream.
+  if (released > 0) {
+    std::vector<void*> kept;
+    kept.reserve(slabs_.size() - released);
+    for (void* s : slabs_) {
+      const std::size_t i = static_cast<std::size_t>(
+          std::lower_bound(bases.begin(), bases.end(), static_cast<char*>(s)) -
+          bases.begin());
+      if (release[i]) {
+        if (static_cast<char*>(s) == cursor_base) {
+          cursor_ = nullptr;
+          slab_end_ = nullptr;
+        }
+        std::free(s);
+      } else {
+        kept.push_back(s);
+      }
+    }
+    slabs_.swap(kept);
+    slabs_released_.fetch_add(released, std::memory_order_relaxed);
+  }
+  return released;
 }
 
 pool_stats slab_cache::stats() const {
@@ -205,6 +390,9 @@ pool_stats slab_cache::stats() const {
   s.remote_frees = g_remote_frees_.load(std::memory_order_relaxed);
   s.carved = carved_.load(std::memory_order_relaxed);
   s.slab_growths = slab_growths_.load(std::memory_order_relaxed);
+  s.trims = trims_.load(std::memory_order_relaxed);
+  s.slabs_released = slabs_released_.load(std::memory_order_relaxed);
+  s.recycle_cells = global_cells_.load(std::memory_order_relaxed);
   for (const auto& slot : mags_) {
     const magazine* m = slot.load(std::memory_order_acquire);
     if (m == nullptr) continue;
@@ -214,6 +402,12 @@ pool_stats slab_cache::stats() const {
     s.remote_frees += m->remote_frees.load(std::memory_order_relaxed);
     s.magazine_refills += m->refills.load(std::memory_order_relaxed);
     s.magazine_flushes += m->flushes.load(std::memory_order_relaxed);
+    s.mag_grows += m->grows.load(std::memory_order_relaxed);
+    s.mag_shrinks += m->shrinks.load(std::memory_order_relaxed);
+    s.magazine_cells += m->count.load(std::memory_order_relaxed);
+    const std::uint64_t cap = m->cap.load(std::memory_order_relaxed);
+    if (s.mag_cap_lo == 0 || cap < s.mag_cap_lo) s.mag_cap_lo = cap;
+    if (cap > s.mag_cap_hi) s.mag_cap_hi = cap;
   }
   return s;
 }

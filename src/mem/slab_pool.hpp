@@ -6,7 +6,12 @@
 //   1. Per-worker magazines. Each thread (keyed by mem::thread_slot(), one
 //      live owner per slot) has a small cache of free cells inside the pool.
 //      Steady-state allocate/deallocate is an uncontended array push/pop on
-//      a line only the owner touches — zero CASes, zero malloc.
+//      a line only the owner touches — zero CASes, zero malloc. Magazines
+//      are sized by OBJECT GEOMETRY, not a fixed cell count: each one
+//      targets default_magazine_bytes of cell storage, clamped to
+//      [mag_cap_min, mag_cap_max] cells, with refill/flush batch = cap/2 —
+//      so a pool of 16-byte waiter records runs deep magazines while a pool
+//      of 512-byte states runs shallow ones, for the same cache footprint.
 //   2. A lock-free global recycle list (tagged-pointer Treiber stack, the
 //      same ABA defense as util/treiber_stack). Magazines refill from it in
 //      batches when empty and flush half their cells to it when full; it is
@@ -16,10 +21,24 @@
 //   3. Block-allocated slabs. Only when the global list is dry does a
 //      refill carve fresh cells from the current slab, growing a new slab
 //      from the upstream allocator when exhausted (the only path that ever
-//      calls aligned_alloc, counted in stats().slab_growths). Slabs are
-//      never returned until the pool dies, so recycled cells stay mapped —
-//      racing readers of a just-retired SNZI node or out-set node observe
-//      stale-but-valid memory, exactly as with the old per-structure arenas.
+//      calls aligned_alloc, counted in stats().slab_growths). While the
+//      pool is running, slabs are never returned, so recycled cells stay
+//      mapped — racing readers of a just-retired SNZI node or out-set node
+//      observe stale-but-valid memory, exactly as with the old
+//      per-structure arenas. trim() (quiescent-only, see pool.hpp) is the
+//      one exception: with no racing readers possible it may hand
+//      fully-free slabs back upstream.
+//
+// Adaptive mode (`adaptive = true`, spec `alloc:...:adaptive`): each
+// magazine's EFFECTIVE capacity moves at runtime inside
+// [mag_cap_min, magazine_slots()]. The signal is the gap — allocate/
+// deallocate calls on this magazine — between consecutive global-list trips
+// (refill or flush): a gap smaller than the capacity means the worker is
+// ping-ponging refill→flush against the shared recycle list, so the cap
+// doubles (more hysteresis, fewer CASes); a gap longer than 64 capacities
+// means the magazine is over-provisioned for this worker's traffic, so the
+// cap halves (fewer cells stranded in an idle cache). Fixed mode pins the
+// effective cap at magazine_slots().
 //
 // Cell layout: every cell carries a small pool-private header *before* the
 // object — a free-list link (atomic, never aliased by object data, so the
@@ -43,39 +62,72 @@ namespace spdag {
 class slab_cache : public object_pool {
  public:
   static constexpr std::size_t default_slab_bytes = 1 << 16;
+  // Per-magazine cell-storage budget (stride bytes, headers included) the
+  // geometry-derived capacity targets, and the hard clamp on that capacity.
+  // The clamp floor wins over the budget for very large cells (a magazine
+  // below ~8 cells flushes so often the global list becomes the hot path).
+  static constexpr std::size_t default_magazine_bytes = 4096;
+  static constexpr std::uint32_t mag_cap_min = 8;
+  static constexpr std::uint32_t mag_cap_max = 128;
 
   // `slab_bytes` is the upstream allocation unit (rounded up to hold at
-  // least one cell). Throws std::invalid_argument on a zero object size.
+  // least one cell); `magazine_bytes` the per-magazine storage budget
+  // (0 = default_magazine_bytes). Throws std::invalid_argument on a zero
+  // object size.
   slab_cache(std::string name, std::size_t object_bytes,
              std::size_t object_align,
-             std::size_t slab_bytes = default_slab_bytes);
+             std::size_t slab_bytes = default_slab_bytes,
+             std::size_t magazine_bytes = 0, bool adaptive = false);
   ~slab_cache() override;
 
   void* allocate() override;
   void deallocate(void* p) noexcept override;
   pool_stats stats() const override;
+  std::size_t trim() override;
 
   std::size_t cell_stride() const noexcept { return stride_; }
   std::size_t slab_bytes() const noexcept { return slab_bytes_; }
   std::size_t slab_count() const;
+  // Storage slots per magazine: the geometry-derived, clamped capacity.
+  std::uint32_t magazine_slots() const noexcept { return mag_slots_; }
+  // Where the effective cap starts: magazine_slots() when fixed, a quarter
+  // of it (>= mag_cap_min) when adaptive, leaving room to grow under
+  // thrash.
+  std::uint32_t magazine_initial_cap() const noexcept { return initial_cap_; }
+  bool adaptive() const noexcept { return adaptive_; }
 
  private:
-  // One worker's cell cache. Only the slot's owner thread touches items/
-  // count; the counters are relaxed atomics so stats() can read them from
-  // any thread.
-  static constexpr std::uint32_t magazine_cap = 32;
-  static constexpr std::uint32_t batch = magazine_cap / 2;
-
+  // One worker's cell cache, allocated at mag_slots_ trailing item slots.
+  // Only the slot's owner thread touches items/count/cap/since_cycle in
+  // normal operation; count and cap are single-writer relaxed atomics so
+  // stats() can read them from any thread, and trim() (quiescent-only, so
+  // ordered against every owner access through the scheduler's park/join
+  // handshakes) may rewrite all of them.
   struct alignas(cache_line_size) magazine {
-    void* items[magazine_cap];
-    std::uint32_t count = 0;
+    std::atomic<std::uint32_t> count{0};
+    std::atomic<std::uint32_t> cap;  // effective capacity, adaptive
+    std::uint32_t since_cycle = 0;   // ops since the last refill/flush
+    bool primed = false;             // true once one refill/flush has run:
+                                     // a fresh magazine's first trip always
+                                     // has a tiny gap (cold start, or a
+                                     // trim reset), which must not read as
+                                     // ping-pong
     std::atomic<std::uint64_t> allocs{0};
     std::atomic<std::uint64_t> frees{0};
     std::atomic<std::uint64_t> recycles{0};
     std::atomic<std::uint64_t> remote_frees{0};
     std::atomic<std::uint64_t> refills{0};
     std::atomic<std::uint64_t> flushes{0};
+    std::atomic<std::uint64_t> grows{0};
+    std::atomic<std::uint64_t> shrinks{0};
+
+    explicit magazine(std::uint32_t cap0) : cap(cap0) {}
+    // Item storage lives directly behind the struct (cache-line aligned,
+    // sized at creation for mag_slots_ entries).
+    void** items() noexcept { return reinterpret_cast<void**>(this + 1); }
   };
+  static magazine* magazine_create(std::uint32_t slots, std::uint32_t cap0);
+  static void magazine_destroy(magazine* m) noexcept;
 
   std::atomic<void*>* link_of(void* obj) const noexcept {
     return reinterpret_cast<std::atomic<void*>*>(static_cast<char*>(obj) -
@@ -87,19 +139,25 @@ class slab_cache : public object_pool {
   }
 
   magazine& mag(int slot);
+  void adapt(magazine& m) noexcept;      // owner thread, at refill/flush
   void refill(magazine& m);              // postcondition: m.count >= 1
-  void flush(magazine& m) noexcept;      // postcondition: m.count < cap
+  void flush(magazine& m) noexcept;      // postcondition: m.count < m.cap
   void carve(void** out, std::uint32_t want, std::uint32_t& got);
   void* pop_global() noexcept;
-  void push_global(void* first, void* last) noexcept;
+  void push_global(void* first, void* last, std::uint32_t n) noexcept;
   static bool restamp(void* p, int slot) noexcept;
 
   std::size_t hdr_space_;   // bytes before the object: link + pad + stamp
   std::size_t stride_;      // full cell size, object_align-multiple
   std::size_t slab_bytes_;
   std::size_t slab_align_;
+  std::size_t mag_bytes_;   // requested magazine budget (0 = default)
+  std::uint32_t mag_slots_; // derived storage capacity per magazine
+  std::uint32_t initial_cap_;
+  bool adaptive_;
 
-  std::atomic<std::uint64_t> global_head_{0};  // pack(cell, tag)
+  std::atomic<std::uint64_t> global_head_{0};   // pack(cell, tag)
+  std::atomic<std::uint64_t> global_cells_{0};  // list length (gauge)
   std::atomic<magazine*> mags_[mem::max_thread_slots] = {};
 
   mutable std::mutex grow_mu_;
@@ -114,6 +172,8 @@ class slab_cache : public object_pool {
   std::atomic<std::uint64_t> g_remote_frees_{0};
   std::atomic<std::uint64_t> carved_{0};
   std::atomic<std::uint64_t> slab_growths_{0};
+  std::atomic<std::uint64_t> trims_{0};
+  std::atomic<std::uint64_t> slabs_released_{0};
 };
 
 // Typed convenience over slab_cache for callers that own their pool outright
@@ -122,8 +182,10 @@ template <typename T>
 class slab_pool final : public slab_cache {
  public:
   explicit slab_pool(std::string name = "slab",
-                     std::size_t slab_bytes = default_slab_bytes)
-      : slab_cache(std::move(name), sizeof(T), alignof(T), slab_bytes) {}
+                     std::size_t slab_bytes = default_slab_bytes,
+                     std::size_t magazine_bytes = 0, bool adaptive = false)
+      : slab_cache(std::move(name), sizeof(T), alignof(T), slab_bytes,
+                   magazine_bytes, adaptive) {}
 
   template <typename... Args>
   T* create(Args&&... args) {

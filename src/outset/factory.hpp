@@ -115,12 +115,17 @@ class tree_outset_factory final : public outset_factory {
   std::string name() const override {
     // Trailing fields are elided when at their defaults, but a non-default
     // scatter forces the threshold field so the name re-parses unambiguously.
-    std::string s = "tree:" + std::to_string(cfg_.fanout);
+    // (Appends, not operator+ chains: gcc 12 -O3 -Wrestrict false positive,
+    // GCC PR 105651, fires on the chained form under -Werror.)
+    std::string s = "tree:";
+    s += std::to_string(cfg_.fanout);
     if (cfg_.grow_threshold != 1 || cfg_.scatter_depth != 0) {
-      s += ":" + std::to_string(cfg_.grow_threshold);
+      s += ':';
+      s += std::to_string(cfg_.grow_threshold);
     }
     if (cfg_.scatter_depth != 0) {
-      s += ":" + std::to_string(cfg_.scatter_depth);
+      s += ':';
+      s += std::to_string(cfg_.scatter_depth);
     }
     return s;
   }

@@ -16,11 +16,14 @@
 // "simple" (single CAS-list head, the default) or "tree[:fanout[:threshold]]"
 // (the grow-on-contention out-set tree).
 //
-// Alloc specs (hot-path memory, see make_pool_registry): "pool[:block]"
-// (per-worker slab pools, the default) or "malloc" (passthrough baseline).
-// The registry feeds every bookkeeping allocation under this runtime:
-// vertices, dec-pairs, future states, SNZI child pairs, out-set node groups
-// and waiter records.
+// Alloc specs (hot-path memory, see make_pool_registry):
+// "pool[:block[:mag]][:adaptive]" (per-worker slab pools, the default; block
+// = upstream slab bytes, mag = per-magazine byte budget, ":adaptive" lets
+// magazine capacities resize at runtime on refill/flush ping-pong) or
+// "malloc" (passthrough baseline). The registry feeds every bookkeeping
+// allocation under this runtime: vertices, dec-pairs, future states, SNZI
+// child pairs, out-set node groups and waiter records. Between run()s,
+// trim_pools() hands fully-idle slabs back to the OS.
 
 #include <cstddef>
 #include <memory>
@@ -48,8 +51,8 @@ struct runtime_config {
   // Out-set spec for futures created under this runtime, see
   // make_outset_factory: "simple" (default) | "tree[:fanout[:threshold]]".
   std::string outset = "simple";
-  // Allocation spec, see make_pool_registry: "pool[:block]" (default) |
-  // "malloc".
+  // Allocation spec, see make_pool_registry:
+  // "pool[:block[:mag]][:adaptive]" (default "pool") | "malloc".
   std::string alloc = "pool";
 };
 
@@ -104,6 +107,9 @@ class runtime {
   // engine's, which is the spec registry unless engine_options.pools
   // overrode it.
   pool_registry& pools() noexcept { return engine_.pools(); }
+  // Quiescent-only slab trim (see dag_engine::trim_pools): legal only
+  // between run()s; returns slabs released upstream.
+  std::size_t trim_pools() { return engine_.trim_pools(); }
   std::size_t workers() const noexcept { return sched_->worker_count(); }
 
  private:

@@ -26,7 +26,10 @@ void options::parse(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         values_[key] = argv[++i];
       } else {
-        values_[key] = "1";  // bare flag
+        // Bare flag. Move-assign a constructed string rather than assigning
+        // the literal: gcc 12 -O3 -Wrestrict false-positives (PR 105651) on
+        // the char*-assignment's inlined replace under -Werror.
+        values_[key] = std::string("1");
       }
     }
   }

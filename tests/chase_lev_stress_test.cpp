@@ -71,8 +71,11 @@ TEST_P(ChaseLevStress, ConservationUnderTheftAndGrowth) {
   for (int i = 0; i < kItems; ++i) {
     ASSERT_EQ(all[static_cast<std::size_t>(i)], i);
   }
-  // Tiny initial capacities must have grown to hold the burst.
-  if (log_cap <= 4) EXPECT_GT(d.capacity(), std::size_t{1} << log_cap);
+  // Tiny initial capacities must have grown to hold the burst. (Braces:
+  // the EXPECT macro expands to an if/else, which -Wdangling-else flags.)
+  if (log_cap <= 4) {
+    EXPECT_GT(d.capacity(), std::size_t{1} << log_cap);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -149,8 +149,12 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(std::uint64_t{16}, false), // sparse
                       std::make_tuple(std::uint64_t{1000}, false)),
     [](const ::testing::TestParamInfo<Param>& info) {
-      return "t" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) ? "_reclaim" : "");
+      // Appends, not one operator+ chain: gcc 12 -O3 -Wrestrict false
+      // positive (GCC PR 105651) fires on the chained form under -Werror.
+      std::string name = "t";
+      name += std::to_string(std::get<0>(info.param));
+      if (std::get<1>(info.param)) name += "_reclaim";
+      return name;
     });
 
 }  // namespace

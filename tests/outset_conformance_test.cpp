@@ -142,6 +142,12 @@ TEST_P(OutsetConformance, ResetRepoolsAbandonedRegistrations) {
     ASSERT_TRUE(o->add(factory_->acquire_waiter(fake_consumer(i), nullptr)));
   }
   factory_->release(o);  // reset: no deliveries, records back to the pool
+  // waiters_created() counts cells CARVED from slabs; the first refill may
+  // carve a whole geometry-sized magazine batch beyond the 32 live records
+  // (magazine-resident spares, not leaks), so the reuse claim is carving
+  // staying FLAT across rounds, not an absolute count.
+  const std::size_t carved_after_first = factory_->waiters_created();
+  EXPECT_GE(carved_after_first, 32u);
   // The pooled records and out-set are reused: no new allocations.
   outset* p = factory_->acquire();
   for (std::size_t i = 0; i < 32; ++i) {
@@ -152,7 +158,7 @@ TEST_P(OutsetConformance, ResetRepoolsAbandonedRegistrations) {
   for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(log.delivered[i].load(), 1u);
   factory_->release(p);
   EXPECT_EQ(factory_->created(), 1u) << "release must actually pool out-sets";
-  EXPECT_LE(factory_->waiters_created(), 32u)
+  EXPECT_EQ(factory_->waiters_created(), carved_after_first)
       << "release_waiter must actually pool records";
 }
 
