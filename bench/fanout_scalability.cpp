@@ -47,8 +47,10 @@
 
 #include "harness/bench_runner.hpp"
 #include "harness/workloads.hpp"
+#include "obs/trace.hpp"
 #include "sched/runtime.hpp"
 #include "util/cli.hpp"
+#include "util/histogram.hpp"
 #include "util/timer.hpp"
 #include "util/topology.hpp"
 
@@ -77,6 +79,7 @@ void register_config(const std::string& outset_spec,
     cfg.alloc = alloc_spec;
     runtime rt(cfg);
     harness::fanout(rt, n, 0, producer_ns);  // warm-up: pools, pages
+    obs::tracer::instance().reset();  // summary covers the measured window
     const outset_totals before = rt.outsets().totals();
     std::uint64_t delivered_sum = 0;
     double wall_sum_s = 0;
@@ -154,15 +157,20 @@ void register_deep_config(const std::string& outset_spec,
     cfg.sched = sched;
     runtime rt(cfg);
     harness::fanout_timed(rt, n, 0, producer_ns, nullptr);  // warm-up
+    obs::tracer::instance().reset();  // summary covers the measured window
     const outset_totals before = rt.outsets().totals();
     const scheduler_totals sched_before = rt.sched().totals();
+    // Per-consumer finalize-to-delivery latency across all measured
+    // iterations: the distribution behind the lat_ms mean.
+    latency_histogram hist;
     std::uint64_t delivered_sum = 0;
     double lat_sum_s = 0;
     double wall_sum_s = 0;
     for (auto _ : st) {
       harness::fanout_timing timing;
       wall_timer t;
-      delivered_sum += harness::fanout_timed(rt, n, 0, producer_ns, &timing);
+      delivered_sum +=
+          harness::fanout_timed(rt, n, 0, producer_ns, &timing, &hist);
       const double el = t.elapsed_s();
       st.SetIterationTime(el);
       wall_sum_s += el;
@@ -179,6 +187,10 @@ void register_deep_config(const std::string& outset_spec,
         st.iterations() > 0
             ? lat_sum_s * 1e3 / static_cast<double>(st.iterations())
             : 0.0;
+    st.counters["lat_p50_ms"] =
+        static_cast<double>(hist.percentile_ns(0.50)) * 1e-6;
+    st.counters["lat_p99_ms"] =
+        static_cast<double>(hist.percentile_ns(0.99)) * 1e-6;
     const double executed = static_cast<double>(sched_after.drains_executed -
                                                 sched_before.drains_executed);
     st.counters["subtrees_offloaded"] = offloaded;
@@ -222,6 +234,9 @@ void register_deep_config(const std::string& outset_spec,
               ? static_cast<double>(harness::outset_ops(n)) / rec.wall_s
               : 0.0;
       rec.lat_ms = st.counters["lat_ms"].value;
+      rec.lat_p50_ms = static_cast<double>(hist.percentile_ns(0.50)) * 1e-6;
+      rec.lat_p95_ms = static_cast<double>(hist.percentile_ns(0.95)) * 1e-6;
+      rec.lat_p99_ms = static_cast<double>(hist.percentile_ns(0.99)) * 1e-6;
       rec.pools = rt.pools().rows();
       rec.pool_totals = rt.pools().totals();
       rec.outsets = after;

@@ -36,8 +36,10 @@
 
 #include "harness/bench_runner.hpp"
 #include "harness/workloads.hpp"
+#include "obs/trace.hpp"
 #include "sched/runtime.hpp"
 #include "util/cli.hpp"
+#include "util/histogram.hpp"
 #include "util/timer.hpp"
 #include "util/topology.hpp"
 
@@ -54,6 +56,7 @@ void register_config(const std::string& alloc_spec, std::size_t workers,
     cfg.alloc = alloc_spec;
     runtime rt(cfg);
     harness::future_churn(rt, n, work_ns);  // warm-up: slabs, magazines
+    obs::tracer::instance().reset();  // summary covers the measured window
     const pool_stats warm = rt.pools().totals();
     std::uint64_t delivered_sum = 0;
     double wall_sum_s = 0;
@@ -156,16 +159,53 @@ int main(int argc, char** argv) {
 
   // Per-pool detail for the default-core pool run (rebuilt fresh so the
   // numbers are one clean run's, not the sweep's accumulation), then a
-  // quiescent trim to show the release path in the same log.
-  runtime_config cfg{common.max_proc, "dyn"};
-  cfg.alloc = "pool";
-  runtime rt(cfg);
-  harness::future_churn(rt, common.n, work_ns);
-  harness::future_churn(rt, common.n, work_ns);
-  harness::print_pool_stats(std::cout, rt.pools().rows());
-  const std::size_t released = rt.trim_pools();
-  std::printf("# trim_pools between runs: released %zu slabs, retained=%llu\n",
-              released,
-              static_cast<unsigned long long>(rt.pools().totals().retained()));
+  // quiescent trim to show the release path in the same log. Scoped so the
+  // runtime's workers are joined before json_write() — a trace dump reads
+  // the event rings and needs full quiescence.
+  {
+    runtime_config cfg{common.max_proc, "dyn"};
+    cfg.alloc = "pool";
+    runtime rt(cfg);
+    harness::future_churn(rt, common.n, work_ns);
+    harness::future_churn(rt, common.n, work_ns);
+    harness::print_pool_stats(std::cout, rt.pools().rows());
+    const std::size_t released = rt.trim_pools();
+    std::printf("# trim_pools between runs: released %zu slabs, retained=%llu\n",
+                released,
+                static_cast<unsigned long long>(rt.pools().totals().retained()));
+
+    // Complete-to-delivery latency distribution on the same warmed runtime:
+    // the tail the mean futures/s rate hides (magazine misses, remote frees).
+    {
+      latency_histogram hist;
+      obs::tracer::instance().reset();
+      wall_timer t;
+      const std::uint64_t delivered =
+          harness::future_churn_timed(rt, common.n, work_ns, &hist);
+      const double wall_s = t.elapsed_s();
+      const double p50_ms = static_cast<double>(hist.percentile_ns(0.50)) * 1e-6;
+      const double p95_ms = static_cast<double>(hist.percentile_ns(0.95)) * 1e-6;
+      const double p99_ms = static_cast<double>(hist.percentile_ns(0.99)) * 1e-6;
+      std::printf(
+          "# churn latency (complete->delivery, n=%llu): p50=%.4fms "
+          "p95=%.4fms p99=%.4fms\n",
+          static_cast<unsigned long long>(delivered), p50_ms, p95_ms, p99_ms);
+      if (harness::json_enabled()) {
+        harness::json_record rec;
+        rec.name = "churn_latency/pool/proc:" + std::to_string(common.max_proc);
+        rec.spec = "pool";
+        rec.proc = common.max_proc;
+        rec.runs = 1;
+        rec.wall_s = wall_s;
+        rec.ops_per_s = wall_s > 0 ? static_cast<double>(delivered) / wall_s : 0;
+        rec.lat_p50_ms = p50_ms;
+        rec.lat_p95_ms = p95_ms;
+        rec.lat_p99_ms = p99_ms;
+        rec.pool_totals = rt.pools().totals();
+        rec.extra.emplace_back("delivered", static_cast<double>(delivered));
+        harness::json_add(std::move(rec));
+      }
+    }
+  }
   return harness::json_write();
 }

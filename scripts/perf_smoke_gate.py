@@ -7,13 +7,23 @@ MEASURED IN THE SAME RUN. Comparing within one run makes the check safe on
 shared CI runners: machine speed cancels out of the ratio, so the gate
 catches a pool regression without pinning absolute numbers.
 
+With --trace-compare, additionally enforces the tracing subsystem's
+zero-cost claim: the main document (built with tracing compiled in, run
+with `trace:off`) is compared against a second future_churn document from a
+-DSPDAG_TRACE=OFF build of the same commit. The geometric mean of the
+per-proc "pool" throughput ratios must stay within --max-trace-overhead
+(default 3%) of the compiled-out build.
+
 Exit codes: 0 pass, 1 perf regression, 2 malformed/unusable input.
 
 Usage: perf_smoke_gate.py BENCH_future_churn.json [--min-ratio 0.9]
+           [--trace-compare BENCH_future_churn_notrace.json]
+           [--max-trace-overhead 0.03]
 """
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -32,6 +42,40 @@ def load(path):
     return doc
 
 
+def churn_pool_rates(doc):
+    """proc -> ops_per_s for the gated churn/pool/... records."""
+    rates = {}
+    for rec in doc["records"]:
+        if rec.get("name", "").startswith("churn/") and rec.get("spec") == "pool":
+            rates[rec["proc"]] = rec["ops_per_s"]
+    return rates
+
+
+def trace_overhead_gate(doc, compare_path, max_overhead):
+    """True when the trace:off run keeps up with the compiled-out build."""
+    notrace = load(compare_path)
+    traced = churn_pool_rates(doc)
+    baseline = churn_pool_rates(notrace)
+    ratios = []
+    for proc in sorted(baseline):
+        if proc not in traced or baseline[proc] <= 0:
+            continue
+        ratio = traced[proc] / baseline[proc]
+        ratios.append(ratio)
+        print(f"  proc {proc}: trace:off {traced[proc]:,.0f} vs compiled-out "
+              f"{baseline[proc]:,.0f} fut/s -> ratio {ratio:.3f}")
+    if not ratios:
+        print("perf_smoke_gate: no comparable trace/notrace record pairs",
+              file=sys.stderr)
+        sys.exit(2)
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    floor = 1.0 - max_overhead
+    verdict = "ok" if geomean >= floor else "REGRESSION"
+    print(f"  trace:off geomean ratio {geomean:.3f} "
+          f"(floor {floor:.3f}) [{verdict}]")
+    return geomean >= floor
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("json_path")
@@ -39,6 +83,12 @@ def main():
                     help="minimum pool/malloc ops-per-second ratio "
                          "(default 0.9: a little head-room for runner noise; "
                          "steady state has measured ~1.2x on 1 core)")
+    ap.add_argument("--trace-compare", metavar="NOTRACE_JSON", default=None,
+                    help="future_churn document from a -DSPDAG_TRACE=OFF "
+                         "build; enforces the trace:off zero-cost claim")
+    ap.add_argument("--max-trace-overhead", type=float, default=0.03,
+                    help="max geomean throughput loss of trace:off vs the "
+                         "compiled-out build (default 0.03)")
     args = ap.parse_args()
 
     doc = load(args.json_path)
@@ -78,6 +128,13 @@ def main():
         print("perf_smoke_gate: no comparable pool/malloc record pairs found",
               file=sys.stderr)
         sys.exit(2)
+    if args.trace_compare is not None:
+        if not trace_overhead_gate(doc, args.trace_compare,
+                                   args.max_trace_overhead):
+            print(f"perf_smoke_gate: FAIL - trace:off lost more than "
+                  f"{args.max_trace_overhead:.0%} vs the compiled-out build",
+                  file=sys.stderr)
+            sys.exit(1)
     if failed:
         print(f"perf_smoke_gate: FAIL - pool fell below "
               f"{args.min_ratio:.2f}x malloc on the same run",

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate a spdag Chrome/Perfetto trace-event JSON export.
+
+CI runs this on the deep fan-out smoke's `-trace full` artifact to keep the
+exporter honest: a trace Perfetto would silently mis-render (out-of-order
+timestamps, negative durations, empty worker tracks) fails the build here
+instead.
+
+Checks:
+  * the file parses as JSON and carries a non-empty `traceEvents` array;
+  * every non-metadata event has pid/tid/ph/ts, and every "X" slice a
+    non-negative `dur`;
+  * per (pid, tid) track, timestamps are non-decreasing in file order (the
+    exporter sorts each track before writing — Perfetto tolerates disorder,
+    our contract does not);
+  * at least --min-workers distinct worker tracks carry >= 1 duration slice;
+  * a "work" slice exists somewhere, and at least one of the scheduler's
+    other buckets (steal/idle/drain) shows up — an instrumentation
+    regression that silences a layer trips this even when the JSON stays
+    well-formed.
+
+Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+SLICE_NAMES = {"work", "idle", "steal", "drain", "finalize", "trim"}
+
+
+def fail(msg: str) -> None:
+    print(f"trace_validate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="path to the .trace.json export")
+    ap.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        help="minimum distinct worker tracks that must carry a slice",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"trace_validate: cannot read {args.trace}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("missing or empty traceEvents array")
+
+    last_ts = {}  # (pid, tid) -> last timestamp seen, in file order
+    slices_per_tid = defaultdict(int)
+    slice_names_seen = set()
+    counter_tracks = set()
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph is None:
+            fail(f"event #{i} has no ph")
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        for key in ("pid", "tid", "ts", "name"):
+            if key not in ev:
+                fail(f"event #{i} (ph={ph}) missing {key}")
+        track = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            fail(f"event #{i} ts is not numeric")
+        prev = last_ts.get(track)
+        if prev is not None and ts < prev:
+            fail(
+                f"event #{i} ({ev['name']!r}) on track {track}: ts {ts} "
+                f"goes backwards from {prev}"
+            )
+        last_ts[track] = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event #{i} ({ev['name']!r}): X slice with bad dur {dur!r}")
+            if ev["name"] in SLICE_NAMES:
+                slices_per_tid[ev["tid"]] += 1
+                slice_names_seen.add(ev["name"])
+        elif ph == "C":
+            counter_tracks.add(ev["name"])
+
+    workers_with_slices = sum(1 for n in slices_per_tid.values() if n > 0)
+    if workers_with_slices < args.min_workers:
+        fail(
+            f"only {workers_with_slices} worker track(s) carry slices, "
+            f"need >= {args.min_workers}"
+        )
+    if "work" not in slice_names_seen:
+        fail("no 'work' slice anywhere in the trace")
+    if not slice_names_seen & {"steal", "idle", "drain"}:
+        fail("no steal/idle/drain slice: scheduler instrumentation is silent")
+
+    print(
+        f"trace_validate: OK: {len(events)} events, "
+        f"{workers_with_slices} worker track(s) with slices "
+        f"({', '.join(sorted(slice_names_seen))}), "
+        f"{len(counter_tracks)} counter track(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "outset/factory.hpp"
 #include "util/rng.hpp"
 
@@ -49,6 +50,7 @@ void dag_engine::enqueue_drain(outset_drain_task* t) {
 std::size_t dag_engine::trim_pools() {
   assert(live_vertices() == 0 &&
          "trim_pools requires quiescence: call only between run()s");
+  obs::span_guard sg(obs::sp_trim);
   return pools_->trim();
 }
 
@@ -132,6 +134,7 @@ void dag_engine::release_pair_ref(dec_pair* p) {
 }
 
 token dag_engine::claim_dec(vertex* u) {
+  obs::emit(obs::ev_claim_dec);
   dec_pair* p = u->dpair;
   assert(p != nullptr && "claim_dec on a vertex without a decrement pair");
   // Test-and-set: the first sibling to need a decrement handle takes t[0],
@@ -202,6 +205,7 @@ std::pair<vertex*, vertex*> dag_engine::chain(vertex* u) {
 
 std::pair<vertex*, vertex*> dag_engine::spawn(vertex* u) {
   stats_.spawns.fetch_add(1, std::memory_order_relaxed);
+  obs::emit(obs::ev_spawn);
   assert(!u->dead && "spawn on a dead vertex");
   vertex* fin = u->fin;
   assert(fin != nullptr && "spawn requires a finish vertex");

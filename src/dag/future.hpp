@@ -45,6 +45,7 @@
 
 #include "dag/engine.hpp"
 #include "mem/registry.hpp"
+#include "obs/trace.hpp"
 #include "outset/factory.hpp"
 
 namespace spdag {
@@ -82,6 +83,7 @@ class future_state {
     // below, or a registrant whose add lost to the finalize) synchronizes
     // with this store through the out-set's sentinel or the executor queue.
     ready_.store(true, std::memory_order_release);
+    obs::span_guard sg(obs::sp_finalize);
     if (engine != nullptr) {
       // Parallel finalize: deep out-set subtrees become drain tasks on the
       // engine's executor, so idle workers broadcast alongside this thread.

@@ -39,6 +39,9 @@ bench_result run_config(const bench_config& cfg) {
   // for the same reason).
   once();
   const std::uint64_t warm_growths = rt.pools().totals().slab_growths;
+  // Scope the utilization summary to the measured window (reset is safe
+  // under the runtime's idle-parked workers; see obs/trace.hpp).
+  obs::tracer::instance().reset();
 
   run_stats stats;
   for (int r = 0; r < cfg.repetitions; ++r) {
@@ -171,6 +174,7 @@ struct json_sink {
   std::mutex mu;
   std::string path;
   std::string bench;
+  std::string trace_path;  // -tracefile: Perfetto export target at exit
   std::vector<json_record> records;
   bool enabled = false;
 };
@@ -221,6 +225,7 @@ void emit_pool_stats(std::ostream& os, const pool_stats& s) {
      << ",\"magazine_refills\":" << s.magazine_refills
      << ",\"magazine_flushes\":" << s.magazine_flushes
      << ",\"trims\":" << s.trims << ",\"slabs_released\":" << s.slabs_released
+     << ",\"cells_released\":" << s.cells_released
      << ",\"mag_grows\":" << s.mag_grows << ",\"mag_shrinks\":" << s.mag_shrinks
      << ",\"magazine_cells\":" << s.magazine_cells
      << ",\"recycle_cells\":" << s.recycle_cells
@@ -237,7 +242,24 @@ void emit_record(std::ostream& os, const json_record& r) {
   escape_to(os, r.sched);
   os << ",\"proc\":" << r.proc << ",\"runs\":" << r.runs
      << ",\"ops_per_s\":" << r.ops_per_s << ",\"lat_ms\":" << r.lat_ms
+     << ",\"lat_p50_ms\":" << r.lat_p50_ms
+     << ",\"lat_p95_ms\":" << r.lat_p95_ms
+     << ",\"lat_p99_ms\":" << r.lat_p99_ms
      << ",\"wall_s\":" << r.wall_s;
+  os << ",\"trace\":{\"mode\":\""
+     << obs::trace_summary::mode_name(r.trace.mode)
+     << "\",\"workers\":" << r.trace.workers
+     << ",\"events\":" << r.trace.events
+     << ",\"dropped\":" << r.trace.dropped
+     << ",\"work_frac\":" << r.trace.work_frac
+     << ",\"steal_frac\":" << r.trace.steal_frac
+     << ",\"idle_frac\":" << r.trace.idle_frac
+     << ",\"drain_frac\":" << r.trace.drain_frac
+     << ",\"steal_attempts\":" << r.trace.steal_attempts
+     << ",\"steal_successes\":" << r.trace.steal_successes
+     << ",\"drains\":" << r.trace.drains
+     << ",\"drain_handoffs\":" << r.trace.drain_handoffs
+     << ",\"finalizes\":" << r.trace.finalizes << "}";
   os << ",\"pool_totals\":";
   emit_pool_stats(os, r.pool_totals);
   os << ",\"pools\":[";
@@ -275,11 +297,25 @@ void emit_record(std::ostream& os, const json_record& r) {
 
 void json_open(const options& opts, std::string bench_name) {
   json_sink& s = sink();
-  std::lock_guard<std::mutex> lock(s.mu);
-  s.path = opts.get_string("json", "");
-  s.bench = std::move(bench_name);
-  s.enabled = !s.path.empty();
-  s.records.clear();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.path = opts.get_string("json", "");
+    s.bench = std::move(bench_name);
+    s.trace_path = opts.get_string("tracefile", "");
+    s.enabled = !s.path.empty();
+    s.records.clear();
+  }
+  // Tracing spec: applied here, before any runtime exists (the tracer's
+  // quiescent-only configure), so every sweep in the main inherits it.
+  const std::string spec = opts.get_string("trace", "");
+  if (!spec.empty()) {
+    try {
+      obs::tracer::instance().configure(spec);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "-trace: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
 }
 
 bool json_enabled() {
@@ -292,6 +328,11 @@ void json_add(json_record rec) {
   json_sink& s = sink();
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.enabled) return;
+  // Auto-embed the utilization summary unless the bench already filled it.
+  if (obs::tracer::instance().mode() != obs::trace_mode::off &&
+      rec.trace.mode == obs::trace_mode::off) {
+    rec.trace = obs::tracer::instance().summary();
+  }
   s.records.push_back(std::move(rec));
 }
 
@@ -312,14 +353,37 @@ void json_add_rate(const std::string& name, const std::string& spec,
 int json_write() {
   json_sink& s = sink();
   std::lock_guard<std::mutex> lock(s.mu);
-  if (!s.enabled) return 0;
+  // Trace epilogue first, independent of the JSON sink: the utilization
+  // line and the Perfetto export are useful on a bare `-trace full` run.
+  int rc = 0;
+  obs::tracer& tr = obs::tracer::instance();
+  if (tr.mode() != obs::trace_mode::off) {
+    const obs::trace_summary ts = tr.summary();
+    std::printf(
+        "# trace: mode=%s workers=%u work=%.1f%% steal=%.1f%% idle=%.1f%% "
+        "drain=%.1f%% events=%llu dropped=%llu\n",
+        obs::trace_summary::mode_name(ts.mode), ts.workers,
+        100.0 * ts.work_frac, 100.0 * ts.steal_frac, 100.0 * ts.idle_frac,
+        100.0 * ts.drain_frac, static_cast<unsigned long long>(ts.events),
+        static_cast<unsigned long long>(ts.dropped));
+    if (!s.trace_path.empty()) {
+      if (tr.dump(s.trace_path) == 0) {
+        std::cout << "# wrote trace to " << s.trace_path << "\n";
+      } else {
+        rc = 1;
+      }
+    }
+  }
+  if (!s.enabled) return rc;
   std::ofstream out(s.path, std::ios::trunc);
   if (!out) {
     std::cerr << "json_write: cannot open " << s.path << "\n";
     return 1;
   }
   out.precision(15);  // doubles round-trip; default 6 digits truncates ops/s
-  out << "{\"schema\":1,\"bench\":";
+  // schema 2: + trace utilization object, lat_p50/p95/p99_ms,
+  // pool_stats.cells_released.
+  out << "{\"schema\":2,\"bench\":";
   escape_to(out, s.bench);
   out << ",\"git_sha\":";
   escape_to(out, git_sha());
@@ -337,7 +401,7 @@ int json_write() {
   }
   std::cout << "# wrote " << s.records.size() << " bench records to "
             << s.path << "\n";
-  return 0;
+  return rc;
 }
 
 }  // namespace spdag::harness

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mem/registry.hpp"
+#include "obs/trace.hpp"
 #include "outset/outset.hpp"
 #include "sched/scheduler_base.hpp"
 #include "util/cli.hpp"
@@ -107,7 +108,15 @@ struct json_record {
   int runs = 0;
   double ops_per_s = 0;
   double lat_ms = 0;      // finalize-to-last-delivery latency (deep fanout)
+  // Latency distribution tails (0 when the bench measures none): p50/p95/p99
+  // from util/histogram, in milliseconds.
+  double lat_p50_ms = 0;
+  double lat_p95_ms = 0;
+  double lat_p99_ms = 0;
   double wall_s = 0;      // mean measured wall seconds per repetition
+  // Utilization summary from the process tracer; auto-filled by json_add
+  // when tracing is active (mode stays "off" otherwise).
+  obs::trace_summary trace{};
   std::vector<pool_registry_row> pools;  // per-pool stats rows (optional)
   pool_stats pool_totals{};              // registry totals (optional)
   outset_totals outsets{};
@@ -117,7 +126,12 @@ struct json_record {
 };
 
 // Reads `-json <path>` (env SPDAG_JSON); empty path leaves the sink
-// disabled and every other json_* call a no-op.
+// disabled and every other json_* call a no-op. Also reads the tracing
+// options shared by every bench main: `-trace off|counters|full[:cap]`
+// (env SPDAG_TRACE) configures the process tracer before any runtime
+// exists — a malformed spec prints the parse error and exits(2) — and
+// `-tracefile <path>` (env SPDAG_TRACEFILE) makes json_write() export the
+// rings as Chrome/Perfetto trace-event JSON at exit.
 void json_open(const options& opts, std::string bench_name);
 bool json_enabled();
 void json_add(json_record rec);  // thread-safe

@@ -60,15 +60,25 @@ void stamp_latest(std::atomic<std::int64_t>* dest, std::int64_t t) {
 }
 
 void fanout_timed_rec(future<std::uint64_t> f, std::atomic<std::uint64_t>* sum,
-                      std::atomic<std::int64_t>* latest, std::uint64_t k,
+                      std::atomic<std::int64_t>* latest,
+                      std::atomic<std::int64_t>* t0,
+                      latency_histogram* hist, std::uint64_t k,
                       std::uint64_t work_ns) {
   if (k >= 2) {
-    fork2([=] { fanout_timed_rec(f, sum, latest, k / 2, work_ns); },
-          [=] { fanout_timed_rec(f, sum, latest, k - k / 2, work_ns); });
+    fork2([=] { fanout_timed_rec(f, sum, latest, t0, hist, k / 2, work_ns); },
+          [=] {
+            fanout_timed_rec(f, sum, latest, t0, hist, k - k / 2, work_ns);
+          });
   } else if (k == 1) {
-    future_then(f, [sum, latest, work_ns](std::uint64_t v) {
+    future_then(f, [sum, latest, t0, hist, work_ns](std::uint64_t v) {
       // Stamp BEFORE the dummy work: delivery latency, not work time.
-      stamp_latest(latest, now_ns());
+      const std::int64_t now = now_ns();
+      stamp_latest(latest, now);
+      if (hist != nullptr) {
+        const std::int64_t start = t0->load(std::memory_order_relaxed);
+        hist->record(now > start ? static_cast<std::uint64_t>(now - start)
+                                 : 0);
+      }
       if (work_ns != 0) spin_ns(work_ns);
       sum->fetch_add(v, std::memory_order_relaxed);
     });
@@ -91,6 +101,32 @@ void churn_rec(std::atomic<std::uint64_t>* sum, std::uint64_t k,
         [sum](future<std::uint64_t> f) {
           future_then(f, [sum](std::uint64_t v) {
             sum->fetch_add(v, std::memory_order_relaxed);
+          });
+        });
+  }
+}
+
+void churn_timed_rec(std::atomic<std::uint64_t>* sum, latency_histogram* hist,
+                     std::uint64_t k, std::uint64_t work_ns) {
+  if (k >= 2) {
+    fork2([=] { churn_timed_rec(sum, hist, k / 2, work_ns); },
+          [=] { churn_timed_rec(sum, hist, k - k / 2, work_ns); });
+  } else if (k == 1) {
+    // Same lifecycle as churn_rec, but the producer returns its completion
+    // timestamp AS the future's value; the consumer's delta is then the
+    // complete-to-delivery latency with zero extra state per iteration.
+    fork2_future<std::uint64_t>(
+        [work_ns] {
+          if (work_ns != 0) spin_ns(work_ns);
+          return static_cast<std::uint64_t>(now_ns());
+        },
+        [sum, hist](future<std::uint64_t> f) {
+          future_then(f, [sum, hist](std::uint64_t v) {
+            const std::int64_t now = now_ns();
+            const std::int64_t start = static_cast<std::int64_t>(v);
+            hist->record(now > start ? static_cast<std::uint64_t>(now - start)
+                                     : 0);
+            sum->fetch_add(1, std::memory_order_relaxed);
           });
         });
   }
@@ -147,7 +183,7 @@ std::uint64_t fanout(runtime& rt, std::uint64_t consumers,
 
 std::uint64_t fanout_timed(runtime& rt, std::uint64_t consumers,
                            std::uint64_t work_ns, std::uint64_t producer_ns,
-                           fanout_timing* timing) {
+                           fanout_timing* timing, latency_histogram* hist) {
   if (work_ns != 0 || producer_ns != 0) spin_units_per_ns();
   std::atomic<std::uint64_t> sum{0};
   std::atomic<std::int64_t> t0{0};
@@ -158,7 +194,7 @@ std::uint64_t fanout_timed(runtime& rt, std::uint64_t consumers,
   // Hand-rolled fork2_future so the finalize start can be stamped
   // immediately before complete() — the producer closure of fork2_future
   // offers no hook there.
-  rt.run([s, t0p, lp, consumers, work_ns, producer_ns] {
+  rt.run([s, t0p, lp, hist, consumers, work_ns, producer_ns] {
     future<std::uint64_t> f = future<std::uint64_t>::make();
     fork2(
         [f, t0p, producer_ns] {
@@ -166,8 +202,8 @@ std::uint64_t fanout_timed(runtime& rt, std::uint64_t consumers,
           t0p->store(now_ns(), std::memory_order_relaxed);
           f.complete(1, dag_engine::current_engine());
         },
-        [f, s, lp, consumers, work_ns] {
-          fanout_timed_rec(f, s, lp, consumers, work_ns);
+        [f, s, lp, t0p, hist, consumers, work_ns] {
+          fanout_timed_rec(f, s, lp, t0p, hist, consumers, work_ns);
         });
   });
   if (timing != nullptr) {
@@ -184,6 +220,16 @@ std::uint64_t future_churn(runtime& rt, std::uint64_t n,
   std::atomic<std::uint64_t> sum{0};
   auto* s = &sum;
   rt.run([s, n, work_ns] { churn_rec(s, n, work_ns); });
+  return sum.load();
+}
+
+std::uint64_t future_churn_timed(runtime& rt, std::uint64_t n,
+                                 std::uint64_t work_ns,
+                                 latency_histogram* hist) {
+  if (work_ns != 0) spin_units_per_ns();
+  std::atomic<std::uint64_t> sum{0};
+  auto* s = &sum;
+  rt.run([s, hist, n, work_ns] { churn_timed_rec(s, hist, n, work_ns); });
   return sum.load();
 }
 

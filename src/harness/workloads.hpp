@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "sched/runtime.hpp"
+#include "util/histogram.hpp"
 
 namespace spdag::harness {
 
@@ -45,13 +46,17 @@ struct fanout_timing {
 
 // fanout with broadcast-latency instrumentation: same workload and return
 // value, but each consumer stamps its delivery time and `timing` (if
-// non-null) receives finalize-to-last-delivery wall time. The per-consumer
-// clock read makes it slightly slower than fanout(); use fanout() when only
-// throughput matters. Pair with a deep-broadcast out-set spec
-// ("tree:<f>:<t>:<scatter>") to measure the finalize walk itself.
+// non-null) receives finalize-to-last-delivery wall time. `hist` (if
+// non-null) additionally records every consumer's finalize-to-delivery
+// latency, giving the distribution (p50/p95/p99) rather than just the
+// worst case. The per-consumer clock read makes it slightly slower than
+// fanout(); use fanout() when only throughput matters. Pair with a
+// deep-broadcast out-set spec ("tree:<f>:<t>:<scatter>") to measure the
+// finalize walk itself.
 std::uint64_t fanout_timed(runtime& rt, std::uint64_t consumers,
                            std::uint64_t work_ns, std::uint64_t producer_ns,
-                           fanout_timing* timing);
+                           fanout_timing* timing,
+                           latency_histogram* hist = nullptr);
 
 // future_churn(n): n INDEPENDENT futures, each created, completed and
 // destroyed by its own producer/consumer pair — the allocation worst case
@@ -63,6 +68,15 @@ std::uint64_t fanout_timed(runtime& rt, std::uint64_t consumers,
 // delivery.
 std::uint64_t future_churn(runtime& rt, std::uint64_t n,
                            std::uint64_t work_ns = 0);
+
+// future_churn with per-future completion-to-delivery latency recorded into
+// `hist`: the producer stamps its clock INTO the future's value and the
+// consumer records the delta on delivery — zero extra allocation per
+// iteration. Returns the number of deliveries (== n) for the exactly-once
+// check.
+std::uint64_t future_churn_timed(runtime& rt, std::uint64_t n,
+                                 std::uint64_t work_ns,
+                                 latency_histogram* hist);
 
 // Parallel Fibonacci on the sp-dag (the paper's running example, Figure 4).
 // Exponential work; use small n. Returns fib(n).

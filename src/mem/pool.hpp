@@ -49,6 +49,9 @@ struct pool_stats {
   std::uint64_t magazine_flushes = 0;
   std::uint64_t trims = 0;          // trim() calls
   std::uint64_t slabs_released = 0; // fully-free slabs returned upstream
+  std::uint64_t cells_released = 0; // cells whose storage trim() returned
+                                    // upstream (they leave the carved
+                                    // population for good)
   std::uint64_t mag_grows = 0;      // adaptive effective-cap doublings
   std::uint64_t mag_shrinks = 0;    // adaptive effective-cap halvings
 
@@ -73,10 +76,11 @@ struct pool_stats {
   }
   // Cells carved but not currently live: cached in magazines, the global
   // recycle list, or structure-local free lists built on top of the pool.
-  // After a trim() this over-counts by the released cells (carved stays
-  // monotone); use retained() for an exact pool-residency gauge.
+  // Cells whose slabs trim() released are subtracted (carved itself stays
+  // monotone), so after a quiescent full trim cached() == retained().
   std::uint64_t cached() const noexcept {
-    return carved >= live() ? carved - live() : 0;
+    const std::uint64_t gone = cells_released + live();
+    return carved >= gone ? carved - gone : 0;
   }
 
   pool_stats& operator+=(const pool_stats& o) noexcept {
@@ -90,6 +94,7 @@ struct pool_stats {
     magazine_flushes += o.magazine_flushes;
     trims += o.trims;
     slabs_released += o.slabs_released;
+    cells_released += o.cells_released;
     mag_grows += o.mag_grows;
     mag_shrinks += o.mag_shrinks;
     magazine_cells += o.magazine_cells;

@@ -5,6 +5,8 @@
 #include <new>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace spdag {
 
 namespace {
@@ -210,6 +212,7 @@ void slab_cache::refill(magazine& m) {
     carve(items, batch, cnt);
   }
   m.count.store(cnt, std::memory_order_relaxed);
+  obs::emit(obs::ev_mag_refill, 0, cnt);
 }
 
 void slab_cache::flush(magazine& m) noexcept {
@@ -229,6 +232,7 @@ void slab_cache::flush(magazine& m) noexcept {
   }
   m.count.store(keep, std::memory_order_relaxed);
   push_global(first, last, cnt - keep);
+  obs::emit(obs::ev_mag_flush, 0, cnt - keep);
 }
 
 void slab_cache::carve(void** out, std::uint32_t want, std::uint32_t& got) {
@@ -241,6 +245,10 @@ void slab_cache::carve(void** out, std::uint32_t want, std::uint32_t& got) {
       if (raw == nullptr) throw std::bad_alloc{};
       slabs_.push_back(raw);
       slab_growths_.fetch_add(1, std::memory_order_relaxed);
+      obs::emit(obs::ev_slab_carve, 0,
+                static_cast<std::uint32_t>(slab_bytes_ / 1024));
+      obs::gauge_add(obs::g_slab_kib,
+                     static_cast<std::int64_t>(slab_bytes_ / 1024));
       cursor_ = static_cast<char*>(raw);
       slab_end_ = cursor_ + slab_bytes_;
     }
@@ -334,6 +342,7 @@ std::size_t slab_cache::trim() {
       cursor_ == nullptr ? nullptr : static_cast<char*>(slabs_.back());
   std::vector<char> release(bases.size(), 0);
   std::size_t released = 0;
+  std::size_t released_cells = 0;
   for (std::size_t i = 0; i < bases.size(); ++i) {
     const std::size_t carved_here =
         bases[i] == cursor_base
@@ -341,6 +350,7 @@ std::size_t slab_cache::trim() {
             : cells_per_slab;
     release[i] = freed[i] == carved_here ? 1 : 0;
     released += release[i];
+    if (release[i]) released_cells += carved_here;
   }
 
   // 4. Cells in retained slabs (pinned by live neighbors) go back onto the
@@ -378,6 +388,11 @@ std::size_t slab_cache::trim() {
     }
     slabs_.swap(kept);
     slabs_released_.fetch_add(released, std::memory_order_relaxed);
+    cells_released_.fetch_add(released_cells, std::memory_order_relaxed);
+    obs::emit(obs::ev_slab_release, 0,
+              static_cast<std::uint32_t>(released));
+    obs::gauge_add(obs::g_slab_kib,
+                   -static_cast<std::int64_t>(released * slab_bytes_ / 1024));
   }
   return released;
 }
@@ -392,6 +407,7 @@ pool_stats slab_cache::stats() const {
   s.slab_growths = slab_growths_.load(std::memory_order_relaxed);
   s.trims = trims_.load(std::memory_order_relaxed);
   s.slabs_released = slabs_released_.load(std::memory_order_relaxed);
+  s.cells_released = cells_released_.load(std::memory_order_relaxed);
   s.recycle_cells = global_cells_.load(std::memory_order_relaxed);
   for (const auto& slot : mags_) {
     const magazine* m = slot.load(std::memory_order_acquire);

@@ -174,6 +174,7 @@ class slab_cache : public object_pool {
   std::atomic<std::uint64_t> slab_growths_{0};
   std::atomic<std::uint64_t> trims_{0};
   std::atomic<std::uint64_t> slabs_released_{0};
+  std::atomic<std::uint64_t> cells_released_{0};
 };
 
 // Typed convenience over slab_cache for callers that own their pool outright

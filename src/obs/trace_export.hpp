@@ -1,0 +1,33 @@
+#pragma once
+// Internal interface between the tracer core (trace.cpp) and the
+// Chrome/Perfetto trace-event JSON writer (trace_export.cpp). Not part of
+// the public obs API.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace spdag::obs::detail {
+
+// One worker ring, snapshotted at quiescence: retained events oldest-first
+// plus how many the ring overwrote before them.
+struct track_snapshot {
+  int slot = -1;
+  std::vector<trace_event> events;
+  std::uint64_t dropped = 0;
+};
+
+// Writes the snapshots as Chrome trace-event JSON ({"traceEvents":[...]})
+// with one track per worker slot: begin/end pairs become "X" complete
+// slices, instants "i" markers, counter samples "C" events. `ns_per_tick`
+// and `base_ticks` map raw event timestamps onto microseconds from the
+// tracer's calibration anchor. Returns 0 on success, 1 on I/O failure.
+int export_chrome_trace(const std::string& path,
+                        const std::vector<track_snapshot>& tracks,
+                        double ns_per_tick, std::uint64_t base_ticks,
+                        trace_mode mode, std::size_t ring_cap,
+                        std::uint64_t dropped_total);
+
+}  // namespace spdag::obs::detail

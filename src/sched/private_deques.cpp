@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "outset/outset.hpp"
 #include "util/backoff.hpp"
 #include "util/topology.hpp"
@@ -70,6 +71,7 @@ void private_deque_scheduler::enqueue(vertex* v) {
   } else {
     injected_.push(v);
   }
+  obs::gauge_add(obs::g_runnable, 1);
   unpark_some();
 }
 
@@ -82,6 +84,8 @@ void private_deque_scheduler::enqueue_drain(outset_drain_task* t) {
       if (me.drains.size() < cfg_.drain_queue_cap) {
         drains_pending_.fetch_add(1, std::memory_order_acq_rel);
         me.drains.push_back(t);
+        obs::gauge_add(obs::g_drains_pending, 1);
+        obs::emit(obs::ev_drain_enqueue);
         unpark_some();
         return;
       }
@@ -92,6 +96,8 @@ void private_deque_scheduler::enqueue_drain(outset_drain_task* t) {
       // worker to adopt (the dual of the vertex injection queue).
       drains_pending_.fetch_add(1, std::memory_order_acq_rel);
       injected_drains_.push(t);
+      obs::gauge_add(obs::g_drains_pending, 1);
+      obs::emit(obs::ev_drain_enqueue);
       unpark_some();
       return;
     }
@@ -103,10 +109,17 @@ void private_deque_scheduler::enqueue_drain(outset_drain_task* t) {
 
 void private_deque_scheduler::run_drain(std::size_t id, outset_drain_task* t,
                                         bool migrated) {
-  t->run();
+  {
+    obs::span_guard sg(obs::sp_drain);
+    t->run();
+  }
+  obs::gauge_add(obs::g_drains_pending, -1);
   worker& me = workers_[id]->value;
   me.drains_executed.fetch_add(1, std::memory_order_relaxed);
-  if (migrated) me.drains_stolen.fetch_add(1, std::memory_order_relaxed);
+  if (migrated) {
+    me.drains_stolen.fetch_add(1, std::memory_order_relaxed);
+    obs::emit(obs::ev_drain_steal);
+  }
   // Decrement AFTER run(), and after any re-offloads the task made bumped
   // the count: pending==0 must mean fully delivered, not merely dequeued
   // (run() spins on it for quiescence).
@@ -142,6 +155,7 @@ void private_deque_scheduler::communicate(std::size_t id, bool can_give) {
     other.drain_transfer.value.store(t, std::memory_order_release);
     other.transfer.value.store(drain_given(), std::memory_order_release);
     me.drains_handed_off.fetch_add(1, std::memory_order_relaxed);
+    obs::emit(obs::ev_drain_handoff, static_cast<std::uint16_t>(thief));
     me.requests_served.fetch_add(1, std::memory_order_relaxed);
   } else {
     other.transfer.value.store(declined(), std::memory_order_release);
@@ -197,7 +211,11 @@ void private_deque_scheduler::worker_main(std::size_t id) {
       assert(eng != nullptr && "work found with no engine attached");
       const bool is_final = (v == stop_vertex_.load(std::memory_order_relaxed));
       active_.fetch_add(1, std::memory_order_acq_rel);
-      eng->execute(v);
+      obs::gauge_add(obs::g_runnable, -1);
+      {
+        obs::span_guard sg(obs::sp_work);
+        eng->execute(v);
+      }
       active_.fetch_sub(1, std::memory_order_acq_rel);
       me.executions.fetch_add(1, std::memory_order_relaxed);
       if (is_final) {
@@ -235,9 +253,18 @@ void private_deque_scheduler::worker_main(std::size_t id) {
           static_cast<std::size_t>(rng.below(workers_.size()));
       if (victim == id) continue;
       outset_drain_task* drain = nullptr;
-      if (vertex* v = try_steal(id, victim, &drain)) {
+      vertex* v = nullptr;
+      {
+        // Scope the steal span around the request round-trip only, so a
+        // handed-off drain below lands in the drain bucket, not steal.
+        obs::span_guard sg(obs::sp_steal);
+        obs::emit(obs::ev_steal_attempt, static_cast<std::uint16_t>(victim));
+        v = try_steal(id, victim, &drain);
+      }
+      if (v != nullptr) {
         me.tasks.push_back(v);
         me.steals.fetch_add(1, std::memory_order_relaxed);
+        obs::emit(obs::ev_steal_success, static_cast<std::uint16_t>(victim));
         got = true;
       } else if (drain != nullptr) {
         // The victim had no vertex to spare and answered with broadcast
@@ -258,7 +285,10 @@ void private_deque_scheduler::worker_main(std::size_t id) {
     if (shutdown_.load(std::memory_order_acquire)) break;
     me.parks.fetch_add(1, std::memory_order_relaxed);
     parked_.fetch_add(1, std::memory_order_acq_rel);
-    park_cv_.wait_for(lock, cfg_.park_timeout);
+    {
+      obs::span_guard sg(obs::sp_idle);
+      park_cv_.wait_for(lock, cfg_.park_timeout);
+    }
     parked_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }

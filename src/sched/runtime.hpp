@@ -34,6 +34,7 @@
 #include "dag/engine.hpp"
 #include "incounter/factory.hpp"
 #include "mem/registry.hpp"
+#include "obs/trace.hpp"
 #include "outset/factory.hpp"
 #include "sched/private_deques.hpp"
 #include "sched/scheduler.hpp"
@@ -54,6 +55,11 @@ struct runtime_config {
   // Allocation spec, see make_pool_registry:
   // "pool[:block[:mag]][:adaptive]" (default "pool") | "malloc".
   std::string alloc = "pool";
+  // Tracing spec applied to the PROCESS-WIDE tracer before this runtime's
+  // workers start: "off" | "counters" | "full[:cap]" (see obs/trace.hpp).
+  // The empty default leaves the tracer exactly as it is, so constructing a
+  // runtime without an opinion never clobbers a harness-level setting.
+  std::string trace = "";
 };
 
 // Builds a scheduler from its spec string.
@@ -77,7 +83,11 @@ inline std::unique_ptr<scheduler_base> make_scheduler(const std::string& spec,
 class runtime {
  public:
   explicit runtime(runtime_config cfg = {})
-      : pools_(make_pool_registry(cfg.alloc)),
+      // The trace spec must land before any member that starts worker
+      // threads (tracer::configure is quiescent-only, and sched_'s workers
+      // emit idle spans the moment they exist) — hence the comma expression
+      // inside the FIRST member initializer.
+      : pools_((apply_trace_spec(cfg.trace), make_pool_registry(cfg.alloc))),
         factory_(make_counter_factory(cfg.counter, cfg.snzi_stats,
                                       pools_.get())),
         outsets_(make_outset_factory(cfg.outset, pools_.get())),
@@ -112,7 +122,17 @@ class runtime {
   std::size_t trim_pools() { return engine_.trim_pools(); }
   std::size_t workers() const noexcept { return sched_->worker_count(); }
 
+  // Exports the process tracer's rings as Chrome/Perfetto trace-event JSON.
+  // Quiescent-only: call between run()s. Returns 0 on success.
+  int dump_trace(const std::string& path) {
+    return obs::tracer::instance().dump(path);
+  }
+
  private:
+  static void apply_trace_spec(const std::string& spec) {
+    if (!spec.empty()) obs::tracer::instance().configure(spec);
+  }
+
   static dag_engine_options with_plumbing(dag_engine_options o,
                                           outset_factory* f,
                                           pool_registry* p) noexcept {

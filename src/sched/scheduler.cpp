@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "outset/outset.hpp"
 #include "util/backoff.hpp"
 #include "util/topology.hpp"
@@ -52,6 +53,7 @@ void scheduler::enqueue(vertex* v) {
     injected_.push_back(v);
     injected_size_.fetch_add(1, std::memory_order_release);
   }
+  obs::gauge_add(obs::g_runnable, 1);
   unpark_some();
 }
 
@@ -63,6 +65,8 @@ void scheduler::enqueue_drain(outset_drain_task* t) {
     drain_size_.fetch_add(1, std::memory_order_release);
   }
   drains_pending_.fetch_add(1, std::memory_order_acq_rel);
+  obs::gauge_add(obs::g_drains_pending, 1);
+  obs::emit(obs::ev_drain_enqueue);
   unpark_some();
 }
 
@@ -76,10 +80,15 @@ bool scheduler::run_one_drain(int id) {
     drains_.pop_front();
     drain_size_.fetch_sub(1, std::memory_order_release);
   }
-  item.task->run();
+  {
+    obs::span_guard sg(obs::sp_drain);
+    item.task->run();
+  }
+  obs::gauge_add(obs::g_drains_pending, -1);
   drains_executed_.fetch_add(1, std::memory_order_relaxed);
   if (item.from != id) {
     drains_stolen_.fetch_add(1, std::memory_order_relaxed);
+    obs::emit(obs::ev_drain_steal);
   }
   // Decrement AFTER run(): pending==0 must mean fully delivered, not merely
   // dequeued (run() below spins on it for quiescence).
@@ -110,13 +119,16 @@ vertex* scheduler::find_work(std::size_t id, xoshiro256& rng) {
   if (vertex* v = pop_injected()) return v;
   // Steal sweeps: random victims, a few rounds, then report failure so the
   // caller can park.
+  obs::span_guard steal_span(obs::sp_steal);
   const std::size_t n = workers_.size();
   for (std::size_t sweep = 0; sweep < cfg_.steal_sweeps_before_park; ++sweep) {
     for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
       const std::size_t victim = static_cast<std::size_t>(rng.below(n));
       if (victim == id) continue;
+      obs::emit(obs::ev_steal_attempt, static_cast<std::uint16_t>(victim));
       if (vertex* v = workers_[victim]->value.deque.steal_top()) {
         me.steals.fetch_add(1, std::memory_order_relaxed);
+        obs::emit(obs::ev_steal_success, static_cast<std::uint16_t>(victim));
         return v;
       }
     }
@@ -140,7 +152,11 @@ void scheduler::worker_main(std::size_t id) {
       assert(eng != nullptr && "work found with no engine attached");
       const bool is_final = (v == stop_vertex_.load(std::memory_order_relaxed));
       active_.fetch_add(1, std::memory_order_acq_rel);
-      eng->execute(v);
+      obs::gauge_add(obs::g_runnable, -1);
+      {
+        obs::span_guard sg(obs::sp_work);
+        eng->execute(v);
+      }
       active_.fetch_sub(1, std::memory_order_acq_rel);
       workers_[id]->value.executions.fetch_add(1, std::memory_order_relaxed);
       if (is_final) {
@@ -160,7 +176,10 @@ void scheduler::worker_main(std::size_t id) {
     if (shutdown_.load(std::memory_order_acquire)) break;
     workers_[id]->value.parks.fetch_add(1, std::memory_order_relaxed);
     parked_.fetch_add(1, std::memory_order_acq_rel);
-    park_cv_.wait_for(lock, cfg_.park_timeout);
+    {
+      obs::span_guard sg(obs::sp_idle);
+      park_cv_.wait_for(lock, cfg_.park_timeout);
+    }
     parked_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }

@@ -339,6 +339,11 @@ TEST(SlabPoolTrim, ChurnThenTrimReleasesEverySlabAndDoubleTrimIsANoOp) {
   EXPECT_EQ(pool.slab_count(), 0u);
   EXPECT_EQ(pool.stats().retained(), 0u);
   EXPECT_EQ(pool.stats().slabs_released, released);
+  // Regression: cached() once kept counting cells whose slabs had gone
+  // upstream (carved - live ignores releases); after a quiescent full trim
+  // the two custody views must agree.
+  EXPECT_EQ(pool.stats().cached(), pool.stats().retained());
+  EXPECT_EQ(pool.stats().cells_released, pool.stats().carved);
 
   EXPECT_EQ(pool.trim(), 0u) << "double trim must be a no-op";
   EXPECT_EQ(pool.stats().trims, 2u);
@@ -373,6 +378,8 @@ TEST(SlabPoolTrim, LiveCellsPinExactlyTheirSlab) {
   EXPECT_GT(pool.stats().retained(), 0u);
   EXPECT_LE(pool.stats().retained() + pool.stats().live(),
             static_cast<std::uint64_t>(4096 / pool.cell_stride()));
+  // Partial trim too: cached() counts only cells still in custody.
+  EXPECT_EQ(pool.stats().cached(), pool.stats().retained());
 
   pool.destroy(keeper);
   EXPECT_EQ(pool.trim(), 1u) << "freeing the pin releases the last slab";
@@ -397,6 +404,8 @@ TEST(SlabPoolTrim, EngineTrimAfterChurnReleasesSlabsUpstream) {
   const pool_stats after = rt.pools().totals();
   EXPECT_EQ(after.slabs_released, released);
   EXPECT_LT(after.retained(), before.retained());
+  EXPECT_EQ(after.cached(), after.retained())
+      << "post-trim custody views must agree across every pool";
   // Pools whose cells all died with the run (future states, vertices,
   // dec-pairs) must be fully drained — their retained() drops to zero; the
   // SNZI pair pool legitimately keeps live cells (trees parked in the
