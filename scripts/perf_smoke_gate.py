@@ -14,11 +14,19 @@ with `trace:off`) is compared against a second future_churn document from a
 per-proc "pool" throughput ratios must stay within --max-trace-overhead
 (default 3%) of the compiled-out build.
 
+With --service, additionally sanity-gates the dag_service traffic bench
+(BENCH_service_traffic.json): every service/<sched>/clients:<c> record must
+conserve submissions (completed == submitted - rejected, completed > 0),
+report a finite positive sojourn p99 and a positive completion rate. This
+is a correctness gate, not a throughput gate — service rates depend on the
+offered arrival schedule, so absolute numbers are not pinned.
+
 Exit codes: 0 pass, 1 perf regression, 2 malformed/unusable input.
 
 Usage: perf_smoke_gate.py BENCH_future_churn.json [--min-ratio 0.9]
            [--trace-compare BENCH_future_churn_notrace.json]
            [--max-trace-overhead 0.03]
+           [--service BENCH_service_traffic.json]
 """
 
 import argparse
@@ -76,6 +84,45 @@ def trace_overhead_gate(doc, compare_path, max_overhead):
     return geomean >= floor
 
 
+def service_gate(path):
+    """True when every dag_service traffic record is sane (see module doc)."""
+    doc = load(path)
+    checked = 0
+    ok = True
+    for rec in doc["records"]:
+        name = rec.get("name", "")
+        if not name.startswith("service/"):
+            continue
+        checked += 1
+        extra = rec.get("extra", {})
+        submitted = extra.get("submitted", 0)
+        rejected = extra.get("rejected", 0)
+        completed = extra.get("completed", 0)
+        p99 = rec.get("lat_p99_ms", 0)
+        rate = rec.get("ops_per_s", 0)
+        problems = []
+        if completed <= 0:
+            problems.append("completed == 0")
+        if completed != submitted - rejected:
+            problems.append(
+                f"conservation: completed {completed:.0f} != submitted "
+                f"{submitted:.0f} - rejected {rejected:.0f}")
+        if not (math.isfinite(p99) and p99 > 0):
+            problems.append(f"sojourn p99 not finite/positive: {p99}")
+        if not (math.isfinite(rate) and rate > 0):
+            problems.append(f"ops_per_s not finite/positive: {rate}")
+        verdict = "ok" if not problems else "FAIL: " + "; ".join(problems)
+        print(f"  {name}: completed {completed:,.0f}/{submitted:,.0f} "
+              f"@ {rate:,.0f}/s, sojourn p99 {p99:.3f}ms [{verdict}]")
+        if problems:
+            ok = False
+    if checked == 0:
+        print(f"perf_smoke_gate: no service/ records in {path}",
+              file=sys.stderr)
+        sys.exit(2)
+    return ok
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("json_path")
@@ -89,6 +136,9 @@ def main():
     ap.add_argument("--max-trace-overhead", type=float, default=0.03,
                     help="max geomean throughput loss of trace:off vs the "
                          "compiled-out build (default 0.03)")
+    ap.add_argument("--service", metavar="SERVICE_JSON", default=None,
+                    help="service_traffic document; sanity-gates the "
+                         "dag_service records (conservation + finite p99)")
     args = ap.parse_args()
 
     doc = load(args.json_path)
@@ -128,6 +178,12 @@ def main():
         print("perf_smoke_gate: no comparable pool/malloc record pairs found",
               file=sys.stderr)
         sys.exit(2)
+    if args.service is not None:
+        if not service_gate(args.service):
+            print("perf_smoke_gate: FAIL - dag_service traffic records "
+                  "violated conservation or reported degenerate latency",
+                  file=sys.stderr)
+            sys.exit(1)
     if args.trace_compare is not None:
         if not trace_overhead_gate(doc, args.trace_compare,
                                    args.max_trace_overhead):

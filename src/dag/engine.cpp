@@ -54,6 +54,14 @@ std::size_t dag_engine::trim_pools() {
   return pools_->trim();
 }
 
+bool dag_engine::try_trim_pools(std::size_t* slabs_released) {
+  if (live_vertices() != 0) return false;
+  obs::span_guard sg(obs::sp_trim);
+  const std::size_t released = pools_->trim();
+  if (slabs_released != nullptr) *slabs_released = released;
+  return true;
+}
+
 dag_engine::dag_engine(counter_factory& factory, executor& exec,
                        dag_engine_options options)
     : factory_(factory),

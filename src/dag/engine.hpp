@@ -144,6 +144,17 @@ class dag_engine {
   // default), the same must hold for every other engine drawing from it.
   std::size_t trim_pools();
 
+  // Service-facing checked trim: like trim_pools(), but a mistimed call is
+  // a no-op instead of an assert — returns false (without touching the
+  // pools) when the engine is not quiescent, so an idle timer that loses a
+  // race with an arriving submission backs off harmlessly and retries
+  // later. The caller must still prevent NEW work from entering between the
+  // check and the trim (the dag_service holds its admission gate across
+  // this call); the check turns a mistimed fire into a clean refusal, it
+  // does not license concurrent allocation. On success `*slabs_released`
+  // (if non-null) receives the slab count handed back upstream.
+  bool try_trim_pools(std::size_t* slabs_released = nullptr);
+
   // Runs v's body with this-vertex context, signals if v is not dead, and
   // recycles v. Called by the executor's workers.
   void execute(vertex* v);

@@ -259,7 +259,11 @@ void emit_record(std::ostream& os, const json_record& r) {
      << ",\"steal_successes\":" << r.trace.steal_successes
      << ",\"drains\":" << r.trace.drains
      << ",\"drain_handoffs\":" << r.trace.drain_handoffs
-     << ",\"finalizes\":" << r.trace.finalizes << "}";
+     << ",\"finalizes\":" << r.trace.finalizes
+     << ",\"submits\":" << r.trace.submits
+     << ",\"admits\":" << r.trace.admits
+     << ",\"rejects\":" << r.trace.rejects
+     << ",\"submit_completes\":" << r.trace.submit_completes << "}";
   os << ",\"pool_totals\":";
   emit_pool_stats(os, r.pool_totals);
   os << ",\"pools\":[";

@@ -12,6 +12,17 @@
 // Slots are deliberately NOT the scheduler's worker ids: pools outlive any
 // one scheduler, and non-worker threads (the blocked caller of run(), test
 // threads) allocate too.
+//
+// Resident-service clients: every thread that calls dag_service::submit()
+// (or destroys a ticket) touches pooled allocation and therefore claims a
+// slot on first use, held until the THREAD exits — not until the ticket
+// resolves. A service fed by more than max_thread_slots concurrently live
+// client threads stays correct: threads past the cap get -1 and fall back
+// to the shared lock-free recycle list, i.e. submissions get slower, never
+// wrong (tests/service_stress_test.cpp pins this). Long-running clients
+// from bounded thread pools are the intended shape; an unbounded
+// thread-per-request frontend merely forfeits magazine caching on the
+// overflow threads while they live.
 
 namespace spdag::mem {
 

@@ -80,7 +80,7 @@ constexpr event_id span_end_ev[span_id_count] = {
     ev_work_end, ev_idle_end,     ev_steal_end,
     ev_drain_end, ev_finalize_end, ev_trim_end};
 constexpr event_id gauge_ev[gauge_id_count] = {
-    ev_ctr_runnable, ev_ctr_drains_pending, ev_ctr_slab_kib};
+    ev_ctr_runnable, ev_ctr_drains_pending, ev_ctr_slab_kib, ev_ctr_inflight};
 
 std::size_t round_up_pow2(std::size_t v) noexcept {
   std::size_t p = 1;
@@ -309,6 +309,11 @@ trace_summary tracer::summary() const {
     s.drain_handoffs +=
         t->counts[ev_drain_handoff].load(std::memory_order_relaxed);
     s.finalizes += t->span_calls[sp_finalize].load(std::memory_order_relaxed);
+    s.submits += t->counts[ev_submit].load(std::memory_order_relaxed);
+    s.admits += t->counts[ev_admit].load(std::memory_order_relaxed);
+    s.rejects += t->counts[ev_reject].load(std::memory_order_relaxed);
+    s.submit_completes +=
+        t->counts[ev_submit_complete].load(std::memory_order_relaxed);
     s.mag_refills += t->counts[ev_mag_refill].load(std::memory_order_relaxed);
     s.mag_flushes += t->counts[ev_mag_flush].load(std::memory_order_relaxed);
     s.slab_carves += t->counts[ev_slab_carve].load(std::memory_order_relaxed);

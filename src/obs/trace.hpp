@@ -97,10 +97,20 @@ enum event_id : std::uint16_t {
   ev_mag_flush,       // b = cells shed to the global recycle list
   ev_slab_carve,      // b = slab KiB grown upstream
   ev_slab_release,    // b = slabs returned upstream at trim
+  // Resident-service submission lifecycle (src/service/). Queueing delay is
+  // separable from execution time because admit carries the former and
+  // complete the full sojourn: exec = sojourn - queueing.
+  ev_submit,          // dag submitted to a dag_service (client thread)
+  ev_admit,           // submission dispatched into the scheduler;
+                      // b = queueing delay in µs (submit -> dispatch)
+  ev_reject,          // submission refused (admission cap or shutdown)
+  ev_submit_complete, // submission's final vertex ran;
+                      // b = sojourn in µs (submit -> complete)
   // Counter samples (b = post-update gauge value, clamped to u32).
   ev_ctr_runnable,
   ev_ctr_drains_pending,
   ev_ctr_slab_kib,
+  ev_ctr_inflight,
   event_id_count
 };
 
@@ -121,6 +131,7 @@ enum gauge_id : int {
   g_runnable = 0,       // vertices enqueued but not yet executing
   g_drains_pending,     // drain tasks on a scheduler lane, not yet run
   g_slab_kib,           // slab bytes currently held from upstream, in KiB
+  g_inflight,           // dag_service submissions admitted, not yet complete
   gauge_id_count
 };
 
@@ -162,6 +173,11 @@ struct trace_summary {
   std::uint64_t drains = 0;          // drain spans completed
   std::uint64_t drain_handoffs = 0;
   std::uint64_t finalizes = 0;
+  // Resident-service submission lifecycle (zero outside a dag_service).
+  std::uint64_t submits = 0;
+  std::uint64_t admits = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t submit_completes = 0;
   std::uint64_t mag_refills = 0;
   std::uint64_t mag_flushes = 0;
   std::uint64_t slab_carves = 0;

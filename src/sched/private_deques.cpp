@@ -293,10 +293,41 @@ void private_deque_scheduler::worker_main(std::size_t id) {
   }
 }
 
+void private_deque_scheduler::begin_service(dag_engine& engine) {
+  assert(&engine.exec() == static_cast<executor*>(this) &&
+         "engine must be bound to this scheduler");
+  assert(done_.load(std::memory_order_acquire) &&
+         "begin_service may not overlap run()");
+  assert(!service_.load(std::memory_order_acquire) &&
+         "begin_service called twice");
+  service_.store(true, std::memory_order_release);
+  engine_.store(&engine, std::memory_order_release);
+}
+
+void private_deque_scheduler::end_service() {
+  assert(service_.load(std::memory_order_acquire) &&
+         "end_service without begin_service");
+  // The caller guarantees no further roots will be injected; spin out
+  // whatever is still in flight (parked workers re-check on their timeout).
+  backoff b;
+  while (!service_idle()) b.pause();
+  engine_.store(nullptr, std::memory_order_release);
+  service_.store(false, std::memory_order_release);
+}
+
+bool private_deque_scheduler::service_idle() const {
+  return injected_.size.load(std::memory_order_acquire) == 0 &&
+         injected_drains_.size.load(std::memory_order_acquire) == 0 &&
+         drains_pending_.load(std::memory_order_acquire) == 0 &&
+         active_.load(std::memory_order_acquire) == 0;
+}
+
 void private_deque_scheduler::run(dag_engine& engine, vertex* root,
                                   vertex* final_v) {
   assert(&engine.exec() == static_cast<executor*>(this) &&
          "engine must be bound to this scheduler");
+  assert(!service_.load(std::memory_order_acquire) &&
+         "run() may not overlap resident-service mode");
   engine_.store(&engine, std::memory_order_release);
   stop_vertex_.store(final_v, std::memory_order_release);
   done_.store(false, std::memory_order_release);

@@ -75,6 +75,13 @@ class private_deque_scheduler final : public scheduler_base {
 
   void run(dag_engine& engine, vertex* root, vertex* final_v) override;
 
+  // Resident-service mode (see scheduler_base): attach the engine so
+  // externally injected roots execute without a surrounding run(); detach
+  // after spinning out to idleness.
+  void begin_service(dag_engine& engine) override;
+  void end_service() override;
+  bool service_idle() const override;
+
   std::size_t worker_count() const override { return workers_.size(); }
   scheduler_totals totals() const override;
   void reset_totals() override;
@@ -164,6 +171,7 @@ class private_deque_scheduler final : public scheduler_base {
   std::atomic<int> parked_{0};
 
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> service_{false};
   std::atomic<dag_engine*> engine_{nullptr};
   std::atomic<vertex*> stop_vertex_{nullptr};
   std::atomic<int> active_{0};

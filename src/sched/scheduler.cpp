@@ -184,9 +184,46 @@ void scheduler::worker_main(std::size_t id) {
   }
 }
 
+void scheduler::begin_service(dag_engine& engine) {
+  assert(&engine.exec() == static_cast<executor*>(this) &&
+         "engine must be bound to this scheduler");
+  assert(done_.load(std::memory_order_acquire) &&
+         "begin_service may not overlap run()");
+  assert(!service_.load(std::memory_order_acquire) &&
+         "begin_service called twice");
+  // Clear the stale stop vertex from any previous run(): pooled vertices
+  // recycle addresses, so a service-mode vertex could alias it and fire the
+  // (harmless, but confusing) done_ notification path.
+  stop_vertex_.store(nullptr, std::memory_order_release);
+  service_.store(true, std::memory_order_release);
+  engine_.store(&engine, std::memory_order_release);
+}
+
+void scheduler::end_service() {
+  assert(service_.load(std::memory_order_acquire) &&
+         "end_service without begin_service");
+  // The caller guarantees no further roots will be injected; spin out
+  // whatever is still in flight. Termination: with no external producer,
+  // workers only shrink the injected/deque/drain population, and parked
+  // workers re-check on their timeout.
+  backoff b;
+  while (!service_idle()) b.pause();
+  engine_.store(nullptr, std::memory_order_release);
+  service_.store(false, std::memory_order_release);
+}
+
+bool scheduler::service_idle() const {
+  return injected_size_.load(std::memory_order_acquire) == 0 &&
+         drain_size_.load(std::memory_order_acquire) == 0 &&
+         drains_pending_.load(std::memory_order_acquire) == 0 &&
+         active_.load(std::memory_order_acquire) == 0;
+}
+
 void scheduler::run(dag_engine& engine, vertex* root, vertex* final_v) {
   assert(&engine.exec() == static_cast<executor*>(this) &&
          "engine must be bound to this scheduler");
+  assert(!service_.load(std::memory_order_acquire) &&
+         "run() may not overlap resident-service mode");
   engine_.store(&engine, std::memory_order_release);
   stop_vertex_.store(final_v, std::memory_order_release);
   done_.store(false, std::memory_order_release);

@@ -59,6 +59,13 @@ class scheduler final : public scheduler_base {
   // its executor.
   void run(dag_engine& engine, vertex* root, vertex* final_v) override;
 
+  // Resident-service mode (see scheduler_base): attach the engine so
+  // externally injected roots execute without a surrounding run(); detach
+  // after spinning out to idleness.
+  void begin_service(dag_engine& engine) override;
+  void end_service() override;
+  bool service_idle() const override;
+
   std::size_t worker_count() const noexcept override { return workers_.size(); }
   scheduler_totals totals() const override;
   void reset_totals() override;
@@ -113,6 +120,7 @@ class scheduler final : public scheduler_base {
   std::atomic<int> parked_{0};
 
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> service_{false};
   std::atomic<dag_engine*> engine_{nullptr};
   std::atomic<vertex*> stop_vertex_{nullptr};
 

@@ -45,6 +45,26 @@ class scheduler_base : public executor {
   // thread. The engine must use this scheduler as its executor.
   virtual void run(dag_engine& engine, vertex* root, vertex* final_v) = 0;
 
+  // --- resident-service mode (src/service/) --------------------------------
+  //
+  // A dag_service keeps the worker pool alive across many externally
+  // submitted dags instead of wrapping each one in run(). begin_service
+  // attaches the engine so roots injected by non-worker threads (through
+  // enqueue) execute as they arrive; each submitted dag carries its own
+  // completion (a body on its final vertex), so there is no stop vertex and
+  // nothing blocks. end_service spins the scheduler out to idleness and
+  // detaches — the caller must guarantee no further roots are injected.
+  // Service mode and run() may not overlap.
+  virtual void begin_service(dag_engine& engine) = 0;
+  virtual void end_service() = 0;
+
+  // True when this scheduler holds no queued or running work: injection
+  // queues empty, no worker mid-execute, no drain task pending. NOT a full
+  // quiescence proof by itself — vertices can sit in worker-private deques
+  // between executes — so resident-service callers pair it with
+  // engine.live_vertices() == 0, which covers anything a deque could hold.
+  virtual bool service_idle() const = 0;
+
   virtual std::size_t worker_count() const = 0;
   virtual scheduler_totals totals() const = 0;
   virtual void reset_totals() = 0;

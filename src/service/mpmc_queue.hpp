@@ -1,0 +1,220 @@
+#pragma once
+// Michael–Scott MPMC queue over an index-linked node arena — the
+// submission hand-off of the resident dag_service.
+//
+// Many client threads push concurrently; the service loop (and, at
+// shutdown, whoever drains) pops. This is the classic two-CAS non-blocking
+// queue of Michael & Scott (PODC'96), with one twist matched to this
+// repo's memory discipline: nodes live in a grow-only chunked arena and
+// links/head/tail are {index:32, tag:32} words packed into one 64-bit
+// atomic. The 32-bit tag is the original algorithm's modification counter
+// — it makes every CAS ABA-safe without a 128-bit CAS, hazard pointers or
+// epochs — and the arena gives the same stale-read stability guarantee the
+// slab pools rely on: a node freed to the internal free list is never
+// unmapped, so a lagging thread that dereferences it through a stale
+// reference reads stale-but-mapped memory and then fails its tag-checked
+// CAS. Freed nodes recycle through a tagged Treiber free list, so a queue
+// that reaches its high-water mark stops allocating entirely.
+//
+// The queue stores plain pointers; it does not own what they point at.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace spdag {
+
+template <typename T>
+class mpmc_queue {
+ public:
+  mpmc_queue() {
+    // Seed the arena and install the initial dummy node (MS queue shape:
+    // head always points at a dummy; head == tail means empty).
+    const std::uint32_t dummy = alloc_node();
+    node_at(dummy)->next.store(pack(null_idx, 0), std::memory_order_relaxed);
+    head_.store(pack(dummy, 0), std::memory_order_relaxed);
+    tail_.store(pack(dummy, 0), std::memory_order_relaxed);
+  }
+
+  mpmc_queue(const mpmc_queue&) = delete;
+  mpmc_queue& operator=(const mpmc_queue&) = delete;
+
+  ~mpmc_queue() {
+    for (node* chunk : chunks_) delete[] chunk;
+  }
+
+  void push(T* value) {
+    const std::uint32_t n = alloc_node();
+    node* nn = node_at(n);
+    nn->value = value;
+    nn->next.store(pack(null_idx, tag_of(nn->next.load(
+                                      std::memory_order_relaxed)) + 1),
+                   std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t t = tail_.load(std::memory_order_acquire);
+      node* tn = node_at(idx_of(t));
+      const std::uint64_t next = tn->next.load(std::memory_order_acquire);
+      if (t != tail_.load(std::memory_order_acquire)) continue;
+      if (idx_of(next) == null_idx) {
+        // Tail is really last: link the new node behind it.
+        std::uint64_t expect = next;
+        if (tn->next.compare_exchange_strong(expect,
+                                             pack(n, tag_of(next) + 1),
+                                             std::memory_order_acq_rel)) {
+          // Swing tail (best effort; a helper may have done it already).
+          std::uint64_t t2 = t;
+          tail_.compare_exchange_strong(t2, pack(n, tag_of(t) + 1),
+                                        std::memory_order_acq_rel);
+          size_.fetch_add(1, std::memory_order_release);
+          pushes_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      } else {
+        // Tail lagging: help swing it forward, then retry.
+        std::uint64_t t2 = t;
+        tail_.compare_exchange_strong(t2, pack(idx_of(next), tag_of(t) + 1),
+                                      std::memory_order_acq_rel);
+      }
+    }
+  }
+
+  // Pops the oldest value, or nullptr when the queue is (momentarily) empty.
+  T* pop() {
+    for (;;) {
+      const std::uint64_t h = head_.load(std::memory_order_acquire);
+      const std::uint64_t t = tail_.load(std::memory_order_acquire);
+      node* hn = node_at(idx_of(h));
+      const std::uint64_t next = hn->next.load(std::memory_order_acquire);
+      if (h != head_.load(std::memory_order_acquire)) continue;
+      if (idx_of(h) == idx_of(t)) {
+        if (idx_of(next) == null_idx) return nullptr;  // empty
+        // Tail lagging behind a completed push: help, then retry.
+        std::uint64_t t2 = t;
+        tail_.compare_exchange_strong(t2, pack(idx_of(next), tag_of(t) + 1),
+                                      std::memory_order_acq_rel);
+        continue;
+      }
+      // Read the value BEFORE the CAS (the successor may be recycled the
+      // moment head moves past it). If the node was already recycled this
+      // read is stale garbage — mapped, thanks to the arena — and the
+      // tag-checked CAS below rejects it.
+      T* value = node_at(idx_of(next))->value;
+      std::uint64_t h2 = h;
+      if (head_.compare_exchange_strong(h2, pack(idx_of(next), tag_of(h) + 1),
+                                        std::memory_order_acq_rel)) {
+        free_node(idx_of(h));  // the old dummy
+        size_.fetch_sub(1, std::memory_order_release);
+        pops_.fetch_add(1, std::memory_order_relaxed);
+        return value;
+      }
+    }
+  }
+
+  // Lock-free emptiness/size probe; exact only at quiescence.
+  bool empty() const noexcept {
+    return size_.load(std::memory_order_acquire) == 0;
+  }
+  std::size_t approx_size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t pushes() const noexcept {
+    return pushes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pops() const noexcept {
+    return pops_.load(std::memory_order_relaxed);
+  }
+  // Nodes ever allocated (the arena's high-water mark; tests pin that a
+  // bounded-inflight service stops growing it).
+  std::size_t nodes_allocated() const noexcept {
+    return allocated_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::uint32_t null_idx = 0xffffffffu;
+  static constexpr std::size_t chunk_nodes = 256;
+
+  struct node {
+    std::atomic<std::uint64_t> next{0};  // packed {index, tag}
+    T* value = nullptr;
+  };
+
+  static constexpr std::uint64_t pack(std::uint32_t idx,
+                                      std::uint64_t tag) noexcept {
+    return (tag << 32) | idx;
+  }
+  static constexpr std::uint32_t idx_of(std::uint64_t r) noexcept {
+    return static_cast<std::uint32_t>(r & 0xffffffffu);
+  }
+  static constexpr std::uint64_t tag_of(std::uint64_t r) noexcept {
+    // Tags wrap at 32 bits; 2^32 in-window reuses of one node between a
+    // thread's read and its CAS would be needed to alias.
+    return (r >> 32) & 0xffffffffu;
+  }
+
+  node* node_at(std::uint32_t idx) const noexcept {
+    return &chunks_[idx / chunk_nodes][idx % chunk_nodes];
+  }
+
+  std::uint32_t alloc_node() {
+    // Fast path: tagged Treiber free list of recycled nodes.
+    for (;;) {
+      const std::uint64_t top = free_.load(std::memory_order_acquire);
+      if (idx_of(top) == null_idx) break;
+      const std::uint64_t next =
+          node_at(idx_of(top))->next.load(std::memory_order_acquire);
+      std::uint64_t expect = top;
+      if (free_.compare_exchange_weak(expect,
+                                      pack(idx_of(next), tag_of(top) + 1),
+                                      std::memory_order_acq_rel)) {
+        return idx_of(top);
+      }
+    }
+    // Cold path: carve from the arena, growing it by one chunk if spent.
+    std::lock_guard<std::mutex> lock(grow_mu_);
+    const std::size_t n = allocated_.load(std::memory_order_relaxed);
+    if (n == chunks_.size() * chunk_nodes) {
+      // Publish-then-bump: chunks_ reallocation is guarded by grow_mu_,
+      // and node_at readers only see indexes below allocated_.
+      std::vector<node*> grown = chunks_;
+      grown.push_back(new node[chunk_nodes]);
+      chunks_.swap(grown);
+      // Readers index chunks_ lock-free; to keep that safe the vector's
+      // buffer must not be reused under them, so retire the old buffer by
+      // keeping its nodes alive in `grown` going out of scope — the node
+      // CHUNKS are shared, only the pointer array was copied.
+    }
+    allocated_.store(n + 1, std::memory_order_release);
+    return static_cast<std::uint32_t>(n);
+  }
+
+  void free_node(std::uint32_t idx) noexcept {
+    node* nn = node_at(idx);
+    nn->value = nullptr;
+    for (;;) {
+      const std::uint64_t top = free_.load(std::memory_order_acquire);
+      nn->next.store(pack(idx_of(top),
+                          tag_of(nn->next.load(std::memory_order_relaxed)) + 1),
+                     std::memory_order_relaxed);
+      std::uint64_t expect = top;
+      if (free_.compare_exchange_weak(expect, pack(idx, tag_of(top) + 1),
+                                      std::memory_order_acq_rel)) {
+        return;
+      }
+    }
+  }
+
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> free_{pack(null_idx, 0)};
+  alignas(64) std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> pops_{0};
+  std::atomic<std::size_t> allocated_{0};
+  std::mutex grow_mu_;
+  std::vector<node*> chunks_;
+};
+
+}  // namespace spdag

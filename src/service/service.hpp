@@ -1,0 +1,276 @@
+#pragma once
+// dag_service: a resident, multi-tenant sp-dag runtime.
+//
+// Everything below src/sched/ is batch-shaped: runtime::run() injects one
+// root, blocks the caller, and returns at quiescence. A service workload is
+// the opposite shape — many client threads, each submitting independent
+// dags at its own rate, against ONE persistent worker pool that amortizes
+// thread creation, pool warm-up and counter-tree state across submissions.
+// dag_service provides that shape:
+//
+//   spdag::dag_service svc({.rt = {.workers = 4, .sched = "private"}});
+//   auto t = svc.submit([] { spdag::fork2([] { work(); }, [] { work(); }); });
+//   if (t.valid()) t.wait();
+//
+// Structure (one instance owns):
+//   * a `runtime` (either scheduler spec) attached in resident-service mode
+//     (scheduler_base::begin_service): workers execute whatever the engine
+//     hands them, with no per-run stop vertex — each submission's final
+//     vertex instead carries a completion body that fulfills its ticket.
+//   * an MPMC injection queue (mpmc_queue.hpp, Michael–Scott shape) client
+//     threads push pooled ticket_states onto.
+//   * a dispatcher thread that pops tickets, builds the (root, final) pair
+//     via dag_engine::make(), and feeds roots to the scheduler's external
+//     enqueue path. A single dispatcher is deliberate: engine::make() draws
+//     from pooled allocation, and one dispatching thread means one warm
+//     magazine instead of N cold client slots.
+//   * bounded admission: at most max_inflight submissions between admit and
+//     complete; past the cap submit() blocks (default) or rejects, per
+//     admission_policy. Both outcomes are visible in stats().
+//   * an idle timer: when the service has been quiet for idle_trim_after,
+//     the dispatcher takes the trim gate exclusively, re-verifies
+//     quiescence, and calls dag_engine::try_trim_pools() — so slab memory
+//     retained by a burst drains back upstream between bursts instead of
+//     being held until destruction.
+//
+// Trim safety. pool trim is only legal with no concurrent pool traffic.
+// Pool traffic under a live service comes from exactly three places: worker
+// threads inside execute() (covered by live_vertices() != 0 while any body
+// runs), the dispatcher (it is the trimmer), and client threads allocating
+// or releasing tickets. The last is the race trim could not otherwise see —
+// hence trim_gate_: submit's ticket allocation and the client-side final
+// ticket release hold it shared; the idle trim holds it exclusively and
+// re-checks (queue empty && inflight == 0 && live_vertices() == 0 &&
+// service_idle()) before trimming. try_trim_pools re-verifies once more so
+// a mistimed fire degrades to `return false`, never to a use-after-free.
+//
+// Lifetime: tickets are pooled in the service's registry and MUST NOT
+// outlive the service. Destruction runs shutdown(drain_mode::drain):
+// already-admitted submissions complete, late submit() calls reject.
+//
+// Observability: submissions emit the ev_submit / ev_admit / ev_reject /
+// ev_submit_complete instants and maintain the g_inflight gauge
+// (src/obs/trace.hpp), and the service keeps three lock-free latency
+// histograms — queueing (submit→dispatch), execution (dispatch→complete)
+// and sojourn (submit→complete) — so bench/service_traffic.cpp can separate
+// time spent waiting for admission+dispatch from time spent computing.
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <utility>
+
+#include "dag/vertex.hpp"
+#include "sched/runtime.hpp"
+#include "service/mpmc_queue.hpp"
+#include "util/histogram.hpp"
+
+namespace spdag {
+
+class dag_service;
+
+// What submit() does when inflight == max_inflight.
+enum class admission_policy {
+  block,   // wait until a completion frees a slot (or shutdown rejects us)
+  reject,  // fail fast: submit() returns an invalid ticket
+};
+
+struct service_config {
+  runtime_config rt = {};
+
+  // Ceiling on submissions between admission and completion; 0 = unbounded.
+  std::size_t max_inflight = 1024;
+  admission_policy on_full = admission_policy::block;
+
+  // Quiet time before the dispatcher attempts an idle pool trim;
+  // zero disables the idle timer entirely.
+  std::chrono::milliseconds idle_trim_after{2};
+};
+
+// Monotone counters + gauges, readable at any time (fields may be a few
+// events skewed from each other mid-run; each is internally consistent).
+// Conservation at quiescent shutdown: submitted == admitted + rejected and
+// completed == admitted.
+struct service_stats {
+  std::uint64_t submitted = 0;       // submit() calls
+  std::uint64_t admitted = 0;        // dispatched into the scheduler
+  std::uint64_t rejected = 0;        // refused at the door or at shutdown
+  std::uint64_t completed = 0;       // final vertices that ran
+  std::uint64_t blocked = 0;         // submits that had to wait for a slot
+  std::uint64_t idle_trims = 0;      // successful idle-timer pool trims
+  std::uint64_t slabs_released = 0;  // slabs those trims returned upstream
+  std::size_t inflight = 0;          // snapshot: admitted, not yet complete
+  std::size_t peak_inflight = 0;
+};
+
+namespace detail {
+
+// Shared completion record behind a ticket. Pooled; two references — the
+// client's ticket and the service (held until the completion or rejection
+// path has fulfilled it).
+struct ticket_state {
+  dag_service* svc = nullptr;
+  vertex_body job;  // moved into the root vertex at dispatch
+  std::atomic<int> refs{2};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool rejected = false;
+  std::chrono::steady_clock::time_point submit_tp;
+  std::chrono::steady_clock::time_point dispatch_tp;
+};
+
+}  // namespace detail
+
+// Client-side handle to one submission. Move-only; waitable from exactly
+// one thread at a time per handle (the state's cv supports any number of
+// handles, but a ticket cannot be copied — clone by sharing results through
+// the job itself). Must be destroyed before the service.
+class ticket {
+ public:
+  ticket() noexcept = default;
+  ticket(ticket&& o) noexcept : s_(o.s_) { o.s_ = nullptr; }
+  ticket& operator=(ticket&& o) noexcept {
+    if (this != &o) {
+      release();
+      s_ = o.s_;
+      o.s_ = nullptr;
+    }
+    return *this;
+  }
+  ticket(const ticket&) = delete;
+  ticket& operator=(const ticket&) = delete;
+  ~ticket() { release(); }
+
+  // False when the submission was refused at the door (reject policy or
+  // shutdown) — there is nothing to wait on.
+  bool valid() const noexcept { return s_ != nullptr; }
+
+  // Blocks until the submission completes or is rejected at shutdown.
+  // Returns true iff the dag ran to completion. Invalid tickets return
+  // false immediately.
+  bool wait();
+
+  // Non-blocking probe: true once wait() would not block.
+  bool ready() const;
+
+ private:
+  friend class dag_service;
+  explicit ticket(detail::ticket_state* s) noexcept : s_(s) {}
+  void release() noexcept;
+
+  detail::ticket_state* s_ = nullptr;
+};
+
+class dag_service {
+ public:
+  enum class drain_mode {
+    drain,   // complete everything already admitted, then stop
+    reject,  // dispatch nothing further; queued submissions are rejected
+             // (already-dispatched dags still run to completion)
+  };
+
+  explicit dag_service(service_config cfg = {});
+  ~dag_service();  // shutdown(drain_mode::drain)
+
+  dag_service(const dag_service&) = delete;
+  dag_service& operator=(const dag_service&) = delete;
+
+  // Submits one dag whose root body is `job` (same contract as
+  // runtime::run's closure: nested fork2/finish_then/futures are fine; the
+  // closure must fit vertex_body's inline storage). Thread-safe — any
+  // number of client threads may submit concurrently. The returned ticket
+  // is invalid iff the submission was rejected.
+  template <typename F>
+  ticket submit(F&& job) {
+    return submit_body(vertex_body(std::forward<F>(job)));
+  }
+  ticket submit_body(vertex_body job);
+
+  // Idempotent; concurrent callers race to pick the mode, everyone blocks
+  // until the service is fully stopped. After shutdown, submit() rejects.
+  void shutdown(drain_mode mode = drain_mode::drain);
+
+  service_stats stats() const;
+
+  // Latency distributions (ns), recorded per submission. Lock-free reads;
+  // exact at quiescence.
+  const latency_histogram& queue_latency() const noexcept { return queue_hist_; }
+  const latency_histogram& exec_latency() const noexcept { return exec_hist_; }
+  const latency_histogram& sojourn_latency() const noexcept {
+    return sojourn_hist_;
+  }
+
+  // Submission-queue depth right now (diagnostics).
+  std::size_t queue_depth() const noexcept { return queue_.approx_size(); }
+
+  runtime& rt() noexcept { return rt_; }
+
+ private:
+  friend class ticket;
+  using clock = std::chrono::steady_clock;
+
+  bool admit();
+  void dispatch(detail::ticket_state* t);
+  void reject_queued(detail::ticket_state* t);
+  void complete(detail::ticket_state* t);
+  void dispatcher_main();
+  void try_idle_trim();
+  void release_ref(detail::ticket_state* t, bool via_gate) noexcept;
+
+  service_config cfg_;
+  runtime rt_;
+  object_pool* ticket_pool_;
+
+  mpmc_queue<detail::ticket_state> queue_;
+
+  // See the file comment: shared = client-side pool traffic (ticket alloc /
+  // final release), exclusive = the idle trim.
+  std::shared_mutex trim_gate_;
+
+  // Admission. inflight_ is the only gate state; the mutex/cv pair exists
+  // so blocked submitters can sleep (completions notify after decrement).
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> peak_inflight_{0};
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+
+  // Dispatcher parking + idle timer.
+  std::mutex dispatch_mu_;
+  std::condition_variable dispatch_cv_;
+  std::thread dispatcher_;
+  // retained() observed right after the last idle trim; the timer re-arms
+  // only when the registry's retained count moves off this value (a trim
+  // can leave a residue — free cells in slabs pinned by live neighbors —
+  // so "retained == 0" is not a reachable idle state). Dispatcher-private.
+  std::uint64_t trimmed_retained_ = ~std::uint64_t{0};
+
+  // Shutdown. stopping_ elects the mode-setter; stop_ is what admit() and
+  // the dispatcher read (stored after reject_pending_, so a reader that
+  // sees stop_ sees the mode).
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> reject_pending_{false};
+  std::mutex join_mu_;
+  bool ended_service_ = false;  // guarded by join_mu_
+
+  // Stats (relaxed monotone counters).
+  std::atomic<std::uint64_t> n_submitted_{0};
+  std::atomic<std::uint64_t> n_admitted_{0};
+  std::atomic<std::uint64_t> n_rejected_{0};
+  std::atomic<std::uint64_t> n_completed_{0};
+  std::atomic<std::uint64_t> n_blocked_{0};
+  std::atomic<std::uint64_t> n_idle_trims_{0};
+  std::atomic<std::uint64_t> n_slabs_released_{0};
+
+  latency_histogram queue_hist_;
+  latency_histogram exec_hist_;
+  latency_histogram sojourn_hist_;
+};
+
+}  // namespace spdag

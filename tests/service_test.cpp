@@ -1,0 +1,382 @@
+// dag_service semantics across both schedulers: submit/wait round trips,
+// exactly-once completion under concurrent clients, admission backpressure
+// (block and reject), shutdown drain/reject conservation, the idle-timer
+// pool trim, and the checked try_trim_pools no-op contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dag/engine.hpp"
+#include "dag/serial_executor.hpp"
+#include "incounter/factory.hpp"
+#include "mem/registry.hpp"
+#include "service/mpmc_queue.hpp"
+#include "service/service.hpp"
+
+namespace spdag {
+namespace {
+
+using namespace std::chrono_literals;
+
+service_config base_cfg(const std::string& sched, std::size_t workers = 2) {
+  service_config cfg;
+  cfg.rt.workers = workers;
+  cfg.rt.sched = sched;
+  return cfg;
+}
+
+// Polls `pred` until true or the deadline passes.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds deadline = 5000ms) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+class ServiceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ServiceTest, SubmitWaitRoundTrip) {
+  dag_service svc(base_cfg(GetParam()));
+  std::atomic<int> ran{0};
+  auto t = svc.submit([&ran] { ran.fetch_add(1); });
+  ASSERT_TRUE(t.valid());
+  EXPECT_TRUE(t.wait());
+  EXPECT_EQ(ran.load(), 1);
+  const auto s = svc.stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.rejected, 0u);
+}
+
+TEST_P(ServiceTest, NestedParallelismInsideSubmission) {
+  dag_service svc(base_cfg(GetParam()));
+  std::atomic<int> leaves{0};
+  auto t = svc.submit([&leaves] {
+    fork2([&leaves] { fork2([&leaves] { leaves.fetch_add(1); },
+                            [&leaves] { leaves.fetch_add(1); }); },
+          [&leaves] { leaves.fetch_add(1); });
+  });
+  ASSERT_TRUE(t.valid());
+  EXPECT_TRUE(t.wait());
+  EXPECT_EQ(leaves.load(), 3);
+}
+
+TEST_P(ServiceTest, ConcurrentClientsCompleteExactlyOnce) {
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 200;
+  dag_service svc(base_cfg(GetParam()));
+  std::atomic<std::uint64_t> ran{0};
+  std::atomic<int> ok_waits{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto t = svc.submit([&ran] { ran.fetch_add(1); });
+        ASSERT_TRUE(t.valid());
+        if (t.wait()) ok_waits.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(ran.load(), static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(ok_waits.load(), kClients * kPerClient);
+  const auto s = svc.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(s.completed, s.admitted);
+  EXPECT_EQ(s.completed + s.rejected, s.submitted);
+  EXPECT_EQ(s.inflight, 0u);
+}
+
+TEST_P(ServiceTest, RejectPolicyRefusesPastTheCap) {
+  auto cfg = base_cfg(GetParam(), /*workers=*/2);
+  cfg.max_inflight = 2;
+  cfg.on_full = admission_policy::reject;
+  dag_service svc(cfg);
+  std::atomic<bool> gate{false};
+  auto spin_until_gate = [&gate] {
+    while (!gate.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  };
+  auto t1 = svc.submit(spin_until_gate);
+  auto t2 = svc.submit(spin_until_gate);
+  ASSERT_TRUE(t1.valid());
+  ASSERT_TRUE(t2.valid());
+  auto t3 = svc.submit([] {});  // cap is 2: refused at the door
+  EXPECT_FALSE(t3.valid());
+  EXPECT_FALSE(t3.wait());
+  gate.store(true, std::memory_order_release);
+  EXPECT_TRUE(t1.wait());
+  EXPECT_TRUE(t2.wait());
+  const auto s = svc.stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.submitted, 3u);
+  EXPECT_EQ(s.peak_inflight, 2u);
+}
+
+TEST_P(ServiceTest, BlockPolicyWaitsForASlot) {
+  auto cfg = base_cfg(GetParam(), /*workers=*/2);
+  cfg.max_inflight = 1;
+  cfg.on_full = admission_policy::block;
+  dag_service svc(cfg);
+  std::atomic<bool> gate{false};
+  std::atomic<int> ran{0};
+  auto t1 = svc.submit([&gate, &ran] {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+    ran.fetch_add(1);
+  });
+  ASSERT_TRUE(t1.valid());
+  std::thread blocked([&svc, &ran] {
+    auto t2 = svc.submit([&ran] { ran.fetch_add(1); });
+    ASSERT_TRUE(t2.valid());  // block policy: admitted once a slot frees
+    EXPECT_TRUE(t2.wait());
+  });
+  // The second submit must be parked in admission, not rejected.
+  ASSERT_TRUE(eventually([&svc] { return svc.stats().blocked >= 1; }));
+  EXPECT_EQ(svc.stats().rejected, 0u);
+  gate.store(true, std::memory_order_release);
+  blocked.join();
+  EXPECT_TRUE(t1.wait());
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(svc.stats().completed, 2u);
+}
+
+TEST_P(ServiceTest, ShutdownDrainCompletesInflight) {
+  constexpr int kJobs = 64;
+  auto svc = std::make_unique<dag_service>(base_cfg(GetParam()));
+  std::atomic<int> ran{0};
+  std::vector<ticket> tickets;
+  tickets.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    tickets.push_back(svc->submit([&ran] { ran.fetch_add(1); }));
+    ASSERT_TRUE(tickets.back().valid());
+  }
+  svc->shutdown(dag_service::drain_mode::drain);
+  for (auto& t : tickets) EXPECT_TRUE(t.wait());
+  EXPECT_EQ(ran.load(), kJobs);
+  const auto s = svc->stats();
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(s.inflight, 0u);
+  // Tickets may not outlive the service.
+  tickets.clear();
+  svc.reset();
+}
+
+TEST_P(ServiceTest, SubmitAfterShutdownRejects) {
+  dag_service svc(base_cfg(GetParam()));
+  EXPECT_TRUE(svc.submit([] {}).wait());
+  svc.shutdown();
+  auto t = svc.submit([] {});
+  EXPECT_FALSE(t.valid());
+  const auto s = svc.stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.completed + s.rejected, s.submitted);
+}
+
+TEST_P(ServiceTest, ShutdownRejectConservesAndNeverHangs) {
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 100;
+  dag_service svc(base_cfg(GetParam()));
+  std::atomic<std::uint64_t> ran{0};
+  std::vector<std::vector<ticket>> tickets(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    tickets[static_cast<std::size_t>(c)].reserve(kPerClient);
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        tickets[static_cast<std::size_t>(c)].push_back(
+            svc.submit([&ran] { ran.fetch_add(1); }));
+      }
+    });
+  }
+  std::this_thread::sleep_for(1ms);
+  svc.shutdown(dag_service::drain_mode::reject);
+  for (auto& th : clients) th.join();
+  // Every valid ticket resolves (completed or rejected) — no hangs.
+  std::uint64_t completed_waits = 0, invalid = 0;
+  for (auto& per_client : tickets) {
+    for (auto& t : per_client) {
+      if (!t.valid()) {
+        ++invalid;
+        EXPECT_FALSE(t.wait());
+      } else if (t.wait()) {
+        ++completed_waits;
+      }
+    }
+  }
+  const auto s = svc.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(s.completed + s.rejected, s.submitted);
+  EXPECT_EQ(s.completed, s.admitted);
+  EXPECT_EQ(s.completed, completed_waits);
+  EXPECT_EQ(s.completed, ran.load());
+  EXPECT_GE(s.rejected, invalid);  // door rejects + any drained-queue rejects
+  EXPECT_EQ(s.inflight, 0u);
+}
+
+TEST_P(ServiceTest, IdleTimerTrimsPoolsBetweenBursts) {
+  auto cfg = base_cfg(GetParam(), /*workers=*/2);
+  cfg.idle_trim_after = 1ms;
+  dag_service svc(cfg);
+  auto burst = [&svc](int jobs) {
+    std::atomic<std::uint64_t> leaves{0};
+    std::vector<ticket> tickets;
+    tickets.reserve(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) {
+      tickets.push_back(svc.submit([&leaves] {
+        // Allocation-heavy: a depth-4 fork tree (~16 leaves) churns vertex
+        // and dec-pair pool cells on every submission.
+        fork2(
+            [&leaves] {
+              fork2([&leaves] { fork2([&leaves] { leaves.fetch_add(1); },
+                                      [&leaves] { leaves.fetch_add(1); }); },
+                    [&leaves] { leaves.fetch_add(1); });
+            },
+            [&leaves] {
+              fork2([&leaves] { leaves.fetch_add(1); },
+                    [&leaves] { leaves.fetch_add(1); });
+            });
+      }));
+    }
+    std::uint64_t ok = 0;
+    for (auto& t : tickets) ok += t.wait() ? 1 : 0;
+    return ok;
+  };
+  EXPECT_EQ(burst(500), 500u);
+  // The burst is over; the idle timer must fire on its own and give slabs
+  // back upstream. (retained() does not reach exactly 0: trim leaves free
+  // cells of pinned slabs on the recycle list — so assert the parts a trim
+  // fully controls: flushed magazines and released slabs.)
+  ASSERT_TRUE(eventually([&svc] {
+    const auto s = svc.stats();
+    return s.idle_trims >= 1 && s.slabs_released >= 1;
+  })) << "idle timer never released slabs; idle_trims="
+      << svc.stats().idle_trims;
+  ASSERT_TRUE(eventually([&svc] {
+    return svc.rt().pools().totals().magazine_cells == 0;
+  })) << "trim left magazine cells; retained="
+      << svc.rt().pools().totals().retained();
+  // The service must still be fully serviceable after trimming.
+  EXPECT_EQ(burst(100), 100u);
+  const auto s = svc.stats();
+  EXPECT_EQ(s.completed, 600u);
+  EXPECT_EQ(s.completed + s.rejected, s.submitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, ServiceTest,
+                         ::testing::Values("ws", "private"));
+
+// --- try_trim_pools contract (deterministic, serial executor) ---------------
+
+TEST(TryTrimPools, RefusesWhileLiveAndTrimsAtQuiescence) {
+  serial_executor exec;
+  slab_pool_registry pools;
+  auto factory = make_counter_factory("dyn");
+  dag_engine engine(*factory, exec, {.pools = &pools});
+
+  auto [root, final_v] = engine.make();
+  root->body = [] {};
+  final_v->body = [] {};
+  engine.add(root);
+  ASSERT_GT(engine.live_vertices(), 0u);
+  std::size_t released = 0xdead;
+  EXPECT_FALSE(engine.try_trim_pools(&released));
+  EXPECT_EQ(released, 0xdeadu);  // refused without touching the out-param
+
+  exec.run_all(engine);
+  ASSERT_EQ(engine.live_vertices(), 0u);
+  EXPECT_TRUE(engine.try_trim_pools(&released));
+  EXPECT_EQ(pools.totals().retained(), 0u);
+  // And again: trimming an already-trimmed engine is a clean success.
+  EXPECT_TRUE(engine.try_trim_pools());
+}
+
+// --- the submission queue in isolation --------------------------------------
+
+TEST(MpmcQueue, FifoSingleThread) {
+  mpmc_queue<int> q;
+  int values[3] = {1, 2, 3};
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop(), nullptr);
+  for (int& v : values) q.push(&v);
+  EXPECT_EQ(q.approx_size(), 3u);
+  EXPECT_EQ(q.pop(), &values[0]);
+  EXPECT_EQ(q.pop(), &values[1]);
+  EXPECT_EQ(q.pop(), &values[2]);
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpmcQueue, NodeArenaStopsGrowingOnReuse) {
+  mpmc_queue<int> q;
+  int v = 7;
+  for (int round = 0; round < 10000; ++round) {
+    q.push(&v);
+    ASSERT_EQ(q.pop(), &v);
+  }
+  // Steady-state push/pop recycles through the free list: the arena high
+  // water mark stays a handful of nodes, not 10000.
+  EXPECT_LE(q.nodes_allocated(), 8u);
+  EXPECT_EQ(q.pushes(), 10000u);
+  EXPECT_EQ(q.pops(), 10000u);
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 20000;
+  mpmc_queue<int> q;
+  std::vector<int> payload(kProducers * kPerProducer);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<int>(i);
+  }
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<bool> done_producing{false};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(&payload[static_cast<std::size_t>(p * kPerProducer + i)]);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        if (int* v = q.pop()) {
+          sum.fetch_add(static_cast<std::uint64_t>(*v),
+                        std::memory_order_relaxed);
+          popped.fetch_add(1, std::memory_order_relaxed);
+        } else if (done_producing.load(std::memory_order_acquire) &&
+                   q.empty()) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  done_producing.store(true, std::memory_order_release);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads[static_cast<std::size_t>(kProducers + c)].join();
+  }
+  const std::uint64_t n = static_cast<std::uint64_t>(kProducers) * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);  // every payload seen exactly once
+}
+
+}  // namespace
+}  // namespace spdag
