@@ -18,11 +18,12 @@
 //
 // The queue stores plain pointers; it does not own what they point at.
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <mutex>
-#include <vector>
+#include <new>
 
 namespace spdag {
 
@@ -42,13 +43,13 @@ class mpmc_queue {
   mpmc_queue& operator=(const mpmc_queue&) = delete;
 
   ~mpmc_queue() {
-    for (node* chunk : chunks_) delete[] chunk;
+    for (auto& slot : chunks_) delete[] slot.load(std::memory_order_relaxed);
   }
 
   void push(T* value) {
     const std::uint32_t n = alloc_node();
     node* nn = node_at(n);
-    nn->value = value;
+    nn->value.store(value, std::memory_order_relaxed);
     nn->next.store(pack(null_idx, tag_of(nn->next.load(
                                       std::memory_order_relaxed)) + 1),
                    std::memory_order_relaxed);
@@ -99,8 +100,9 @@ class mpmc_queue {
       // Read the value BEFORE the CAS (the successor may be recycled the
       // moment head moves past it). If the node was already recycled this
       // read is stale garbage — mapped, thanks to the arena — and the
-      // tag-checked CAS below rejects it.
-      T* value = node_at(idx_of(next))->value;
+      // tag-checked CAS below rejects it. Atomic relaxed: the read may race
+      // free_node()/push() writes to a recycled node by design.
+      T* value = node_at(idx_of(next))->value.load(std::memory_order_relaxed);
       std::uint64_t h2 = h;
       if (head_.compare_exchange_strong(h2, pack(idx_of(next), tag_of(h) + 1),
                                         std::memory_order_acq_rel)) {
@@ -135,10 +137,20 @@ class mpmc_queue {
  private:
   static constexpr std::uint32_t null_idx = 0xffffffffu;
   static constexpr std::size_t chunk_nodes = 256;
+  // Chunk table capacity. Fixed so node_at readers index stable storage for
+  // the queue's whole lifetime (no reallocation to race with); 4096 chunks
+  // of 256 nodes bound the queue at ~1M simultaneously-linked nodes, far
+  // above any bounded-admission service's reachable depth.
+  static constexpr std::size_t max_chunks = 4096;
 
   struct node {
     std::atomic<std::uint64_t> next{0};  // packed {index, tag}
-    T* value = nullptr;
+    // Atomic because a pop() may read a just-recycled successor's value
+    // concurrently with free_node()/push() writing it; the stale read is
+    // discarded by the tag-checked head CAS, but the accesses must still be
+    // atomic to be defined behavior (and TSan-clean). Relaxed is enough —
+    // real publication ordering comes from the link/head CASes.
+    std::atomic<T*> value{nullptr};
   };
 
   static constexpr std::uint64_t pack(std::uint32_t idx,
@@ -155,7 +167,12 @@ class mpmc_queue {
   }
 
   node* node_at(std::uint32_t idx) const noexcept {
-    return &chunks_[idx / chunk_nodes][idx % chunk_nodes];
+    // The slot is written once (under grow_mu_) before the first index into
+    // the chunk is published through a release operation the caller has
+    // acquired, so a relaxed-published pointer would already be visible;
+    // acquire keeps the read independently self-contained.
+    node* chunk = chunks_[idx / chunk_nodes].load(std::memory_order_acquire);
+    return chunk + (idx % chunk_nodes);
   }
 
   std::uint32_t alloc_node() {
@@ -173,18 +190,15 @@ class mpmc_queue {
       }
     }
     // Cold path: carve from the arena, growing it by one chunk if spent.
+    // The chunk table itself is a fixed array of atomic slots, so readers
+    // in node_at never touch storage that moves or is freed; growth only
+    // ever publishes a fresh chunk pointer into an all-null slot.
     std::lock_guard<std::mutex> lock(grow_mu_);
     const std::size_t n = allocated_.load(std::memory_order_relaxed);
-    if (n == chunks_.size() * chunk_nodes) {
-      // Publish-then-bump: chunks_ reallocation is guarded by grow_mu_,
-      // and node_at readers only see indexes below allocated_.
-      std::vector<node*> grown = chunks_;
-      grown.push_back(new node[chunk_nodes]);
-      chunks_.swap(grown);
-      // Readers index chunks_ lock-free; to keep that safe the vector's
-      // buffer must not be reused under them, so retire the old buffer by
-      // keeping its nodes alive in `grown` going out of scope — the node
-      // CHUNKS are shared, only the pointer array was copied.
+    if (n % chunk_nodes == 0) {
+      const std::size_t slot = n / chunk_nodes;
+      if (slot == max_chunks) throw std::bad_alloc();
+      chunks_[slot].store(new node[chunk_nodes], std::memory_order_release);
     }
     allocated_.store(n + 1, std::memory_order_release);
     return static_cast<std::uint32_t>(n);
@@ -192,7 +206,7 @@ class mpmc_queue {
 
   void free_node(std::uint32_t idx) noexcept {
     node* nn = node_at(idx);
-    nn->value = nullptr;
+    nn->value.store(nullptr, std::memory_order_relaxed);
     for (;;) {
       const std::uint64_t top = free_.load(std::memory_order_acquire);
       nn->next.store(pack(idx_of(top),
@@ -214,7 +228,10 @@ class mpmc_queue {
   std::atomic<std::uint64_t> pops_{0};
   std::atomic<std::size_t> allocated_{0};
   std::mutex grow_mu_;
-  std::vector<node*> chunks_;
+  // Fixed-capacity chunk table (see max_chunks): slots start null and are
+  // written exactly once each, under grow_mu_. Never reallocates, so the
+  // lock-free node_at readers have stable storage for the queue's lifetime.
+  std::array<std::atomic<node*>, max_chunks> chunks_{};
 };
 
 }  // namespace spdag

@@ -89,7 +89,7 @@ ticket dag_service::submit_body(vertex_body job) {
 }
 
 bool dag_service::admit() {
-  if (stop_.load(std::memory_order_acquire)) return false;
+  if (stop_.load(std::memory_order_acquire)) return false;  // fast path only
   const std::size_t cap = cfg_.max_inflight;
   for (;;) {
     std::size_t cur = inflight_.load(std::memory_order_acquire);
@@ -104,9 +104,29 @@ bool dag_service::admit() {
       if (stop_.load(std::memory_order_acquire)) return false;
       continue;  // re-run the CAS race for the freed slot
     }
+    // Reserve the slot FIRST, then re-check stop_. The authoritative stop
+    // check must come after the increment so the dispatcher's drain-exit
+    // test (stop_ && inflight_ == 0 && queue empty) can never pass between
+    // our stop check and our increment — any admission it could miss is in
+    // inflight_ before it looks. That ordering argument is store-buffering
+    // shaped (we write inflight_ then read stop_; the dispatcher reads
+    // stop_ then inflight_), which acquire/release alone does not forbid —
+    // hence seq_cst here, on shutdown()'s stop_ store, and on the
+    // dispatcher's exit-check loads.
     if (inflight_.compare_exchange_weak(cur, cur + 1,
-                                        std::memory_order_acq_rel,
+                                        std::memory_order_seq_cst,
                                         std::memory_order_acquire)) {
+      if (stop_.load(std::memory_order_seq_cst)) {
+        // Shutdown won: roll the reservation back and reject. The transient
+        // increment is harmless — it can only make the dispatcher poll once
+        // more, never exit early.
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        {
+          std::lock_guard<std::mutex> lk(admit_mu_);
+        }
+        admit_cv_.notify_all();
+        return false;
+      }
       std::size_t peak = peak_inflight_.load(std::memory_order_relaxed);
       while (cur + 1 > peak &&
              !peak_inflight_.compare_exchange_weak(
@@ -201,11 +221,14 @@ void dag_service::dispatcher_main() {
       }
       continue;
     }
-    if (stop_.load(std::memory_order_acquire)) {
+    if (stop_.load(std::memory_order_seq_cst)) {
       // Drain protocol: exit only when nothing is admitted-but-incomplete.
       // A submitter that won admission just before stop_ may not have
-      // pushed yet — inflight_ covers that window, so keep polling.
-      if (inflight_.load(std::memory_order_acquire) == 0 && queue_.empty()) {
+      // pushed yet — inflight_ covers that window (admit() increments it
+      // BEFORE its authoritative stop_ check), so keep polling. seq_cst on
+      // both loads pairs with admit()'s seq_cst increment/check: see the
+      // store-buffering note there.
+      if (inflight_.load(std::memory_order_seq_cst) == 0 && queue_.empty()) {
         return;
       }
       std::unique_lock<std::mutex> lk(dispatch_mu_);
@@ -271,9 +294,11 @@ void dag_service::shutdown(drain_mode mode) {
   if (stopping_.compare_exchange_strong(expected, true,
                                         std::memory_order_acq_rel)) {
     // Mode before flag: a reader that acquires stop_ sees the mode.
+    // seq_cst store pairs with admit()'s reserve-then-check (see the
+    // store-buffering note there).
     reject_pending_.store(mode == drain_mode::reject,
                           std::memory_order_release);
-    stop_.store(true, std::memory_order_release);
+    stop_.store(true, std::memory_order_seq_cst);
     {
       std::lock_guard<std::mutex> lk(admit_mu_);
     }

@@ -225,6 +225,56 @@ TEST_P(ServiceTest, ShutdownRejectConservesAndNeverHangs) {
   EXPECT_EQ(s.inflight, 0u);
 }
 
+// Regression for the admit/shutdown TOCTOU: a submitter that passes the
+// stop check just before shutdown() must either be visible to the drain
+// protocol (inflight_ raised before the dispatcher's exit test can pass)
+// or be rejected — never left holding a valid ticket nobody will resolve.
+// Each iteration races clients submitting flat-out against an almost
+// immediate drain shutdown; a regression shows up as wait() hanging (test
+// timeout) or a conservation failure.
+TEST_P(ServiceTest, DrainShutdownRacingSubmittersNeverStrandsATicket) {
+  constexpr int kIterations = 20;
+  constexpr int kClients = 3;
+  constexpr int kMaxPerClient = 5000;
+  for (int it = 0; it < kIterations; ++it) {
+    dag_service svc(base_cfg(GetParam()));
+    std::atomic<bool> go{false};
+    std::vector<std::vector<ticket>> tickets(kClients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < kMaxPerClient; ++i) {
+          tickets[static_cast<std::size_t>(c)].push_back(svc.submit([] {}));
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    // Vary the race window (µs scale, busy-wait — yielding here deschedules
+    // to the flat-out submitters and costs milliseconds per yield) so
+    // shutdown lands at different points in the submit hot path.
+    const auto window = std::chrono::microseconds(it * 40);
+    for (const auto until = std::chrono::steady_clock::now() + window;
+         std::chrono::steady_clock::now() < until;) {
+    }
+    svc.shutdown(dag_service::drain_mode::drain);
+    for (auto& th : clients) th.join();
+    std::uint64_t completed_waits = 0;
+    for (auto& per_client : tickets) {
+      for (auto& t : per_client) {
+        if (t.valid() && t.wait()) ++completed_waits;
+      }
+    }
+    const auto s = svc.stats();
+    ASSERT_EQ(s.completed + s.rejected, s.submitted);
+    ASSERT_EQ(s.completed, s.admitted);
+    ASSERT_EQ(s.completed, completed_waits);
+    ASSERT_EQ(s.inflight, 0u);
+    tickets.clear();  // tickets may not outlive the service
+  }
+}
+
 TEST_P(ServiceTest, IdleTimerTrimsPoolsBetweenBursts) {
   auto cfg = base_cfg(GetParam(), /*workers=*/2);
   cfg.idle_trim_after = 1ms;
