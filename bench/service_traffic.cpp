@@ -21,11 +21,25 @@
 // ride along in `extra` so the CI gate can assert conservation
 // (completed == submitted - rejected) and that the idle trim fired.
 //
+// Busy trim: the service runs with an aggressive busy_trim_every cadence
+// (knob -busytrim, default 32 here vs the production default 256) and a
+// small-slab / small-magazine alloc spec (pool:4096:256 — minimum rails),
+// so burst frees overflow the per-worker magazines onto the global recycle
+// list where trim_live() can see whole slabs drain. That demonstrates the
+// epoch reclamation path end to end — busy_trims / slabs_retired /
+// slabs_reclaimed ride in `extra` next to epoch_enabled, and the CI gate
+// asserts that under sustained load some slabs actually made the full
+// retire -> 2-epoch-delay -> reclaim trip while submissions were in flight
+// (the dispatcher never trims outside its dispatch loop). Default-geometry
+// behaviour (big magazines strand cells; see the ROADMAP carry-over on
+// magazine shedding) stays covered by every other bench.
+//
 // Scale knobs: -n / SPDAG_N (submissions per repetition, default 1<<12),
 // -proc / SPDAG_PROC (workers), -runs / SPDAG_RUNS, -arrivalns (mean
 // inter-arrival per client in ns, default 20000), -cap (max_inflight,
-// default 256). Telemetry: -json <path> / SPDAG_JSON writes one record per
-// config (scripts/perf_smoke_gate.py --service consumes it).
+// default 256), -busytrim (busy-trim dispatch cadence, 0 disables).
+// Telemetry: -json <path> / SPDAG_JSON writes one record per config
+// (scripts/perf_smoke_gate.py --service consumes it).
 
 #include <benchmark/benchmark.h>
 
@@ -38,6 +52,7 @@
 #include <vector>
 
 #include "harness/bench_runner.hpp"
+#include "mem/epoch.hpp"
 #include "obs/trace.hpp"
 #include "sched/runtime.hpp"
 #include "service/service.hpp"
@@ -93,16 +108,18 @@ double pct_ms(const latency_histogram& h, double q) {
 
 void register_config(const std::string& sched_spec, std::size_t clients,
                      std::size_t workers, std::uint64_t n, double mean_gap_ns,
-                     std::size_t cap, int runs) {
+                     std::size_t cap, std::size_t busy_trim, int runs) {
   const std::string name =
       "service/" + sched_spec + "/clients:" + std::to_string(clients);
   benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
     service_config cfg;
     cfg.rt.workers = workers;
     cfg.rt.sched = sched_spec;
+    cfg.rt.alloc = "pool:4096:256";  // see file comment: busy-trim geometry
     cfg.max_inflight = cap;
     cfg.on_full = admission_policy::block;
     cfg.idle_trim_after = std::chrono::milliseconds(1);
+    cfg.busy_trim_every = busy_trim;
     dag_service svc(cfg);
     obs::tracer::instance().reset();  // summary covers this config only
 
@@ -177,6 +194,15 @@ void register_config(const std::string& sched_spec, std::size_t clients,
       rec.extra.emplace_back("idle_trims", static_cast<double>(s.idle_trims));
       rec.extra.emplace_back("slabs_released",
                              static_cast<double>(s.slabs_released));
+      rec.extra.emplace_back("busy_trims", static_cast<double>(s.busy_trims));
+      rec.extra.emplace_back("slabs_retired",
+                             static_cast<double>(s.slabs_retired));
+      rec.extra.emplace_back("slabs_reclaimed",
+                             static_cast<double>(s.slabs_reclaimed));
+      rec.extra.emplace_back("queue_full_rejects",
+                             static_cast<double>(s.queue_full_rejects));
+      rec.extra.emplace_back("epoch_enabled",
+                             mem::epoch::enabled() ? 1.0 : 0.0);
       rec.extra.emplace_back("peak_inflight",
                              static_cast<double>(s.peak_inflight));
       harness::json_add(std::move(rec));
@@ -196,6 +222,8 @@ int main(int argc, char** argv) {
       static_cast<double>(opts.get_int("arrivalns", 20000));
   const std::size_t cap =
       static_cast<std::size_t>(opts.get_int("cap", 256));
+  const std::size_t busy_trim =
+      static_cast<std::size_t>(opts.get_int("busytrim", 32));
 
   // Client-count sweep against a fixed worker pool, for both schedulers:
   // the contention axis is concurrent submitters, not workers.
@@ -204,16 +232,17 @@ int main(int argc, char** argv) {
   for (const auto& sched : scheds) {
     for (std::size_t c : client_counts) {
       register_config(sched, c, common.max_proc, common.n, mean_gap_ns, cap,
-                      common.runs);
+                      busy_trim, common.runs);
     }
   }
 
   std::printf(
       "# service: open-loop Poisson-ish arrivals into a resident dag_service; "
-      "n=%llu per rep, workers=%zu, runs=%d, mean_gap=%.0fns, cap=%zu; "
+      "n=%llu per rep, workers=%zu, runs=%d, mean_gap=%.0fns, cap=%zu, "
+      "busytrim=%zu (epoch %s); "
       "acceptance: completed == submitted - rejected, finite p99\n",
       static_cast<unsigned long long>(common.n), common.max_proc, common.runs,
-      mean_gap_ns, cap);
+      mean_gap_ns, cap, busy_trim, mem::epoch::enabled() ? "on" : "off");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -14,18 +14,31 @@ with `trace:off`) is compared against a second future_churn document from a
 per-proc "pool" throughput ratios must stay within --max-trace-overhead
 (default 3%) of the compiled-out build.
 
+With --epoch-compare, enforces the same bounded-overhead claim for the
+epoch-based reclamation layer (src/mem/epoch.hpp): the main document
+(epoch compiled in — worker loops pin/refresh/tick) against a future_churn
+document from a -DSPDAG_EPOCH=OFF build. Budget --max-epoch-overhead
+(default 3% geomean).
+
 With --service, additionally sanity-gates the dag_service traffic bench
 (BENCH_service_traffic.json): every service/<sched>/clients:<c> record must
 conserve submissions (completed == submitted - rejected, completed > 0),
-report a finite positive sojourn p99 and a positive completion rate. This
-is a correctness gate, not a throughput gate — service rates depend on the
-offered arrival schedule, so absolute numbers are not pinned.
+report a finite positive sojourn p99 and a positive completion rate. When
+the records were produced by an epoch-enabled build (extra.epoch_enabled),
+each must also show busy trims actually firing, and ACROSS the document
+some slabs must have made the full retire -> reclaim trip — the
+busy-trim-under-load acceptance (the dispatcher only trims inside its
+dispatch loop, so a nonzero count proves reclamation under live traffic).
+This is a correctness gate, not a throughput gate — service rates depend on
+the offered arrival schedule, so absolute numbers are not pinned.
 
 Exit codes: 0 pass, 1 perf regression, 2 malformed/unusable input.
 
 Usage: perf_smoke_gate.py BENCH_future_churn.json [--min-ratio 0.9]
            [--trace-compare BENCH_future_churn_notrace.json]
            [--max-trace-overhead 0.03]
+           [--epoch-compare BENCH_future_churn_noepoch.json]
+           [--max-epoch-overhead 0.03]
            [--service BENCH_service_traffic.json]
 """
 
@@ -59,27 +72,32 @@ def churn_pool_rates(doc):
     return rates
 
 
-def trace_overhead_gate(doc, compare_path, max_overhead):
-    """True when the trace:off run keeps up with the compiled-out build."""
-    notrace = load(compare_path)
-    traced = churn_pool_rates(doc)
-    baseline = churn_pool_rates(notrace)
+def overhead_gate(doc, compare_path, max_overhead, label):
+    """True when the main run keeps up with the feature-compiled-out build.
+
+    Shared by --trace-compare and --epoch-compare: both assert that a
+    compile-time-removable layer costs at most `max_overhead` (geomean of
+    per-proc pool-throughput ratios) when compiled in.
+    """
+    stripped = load(compare_path)
+    enabled = churn_pool_rates(doc)
+    baseline = churn_pool_rates(stripped)
     ratios = []
     for proc in sorted(baseline):
-        if proc not in traced or baseline[proc] <= 0:
+        if proc not in enabled or baseline[proc] <= 0:
             continue
-        ratio = traced[proc] / baseline[proc]
+        ratio = enabled[proc] / baseline[proc]
         ratios.append(ratio)
-        print(f"  proc {proc}: trace:off {traced[proc]:,.0f} vs compiled-out "
+        print(f"  proc {proc}: {label} {enabled[proc]:,.0f} vs compiled-out "
               f"{baseline[proc]:,.0f} fut/s -> ratio {ratio:.3f}")
     if not ratios:
-        print("perf_smoke_gate: no comparable trace/notrace record pairs",
+        print(f"perf_smoke_gate: no comparable record pairs for {label}",
               file=sys.stderr)
         sys.exit(2)
     geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
     floor = 1.0 - max_overhead
     verdict = "ok" if geomean >= floor else "REGRESSION"
-    print(f"  trace:off geomean ratio {geomean:.3f} "
+    print(f"  {label} geomean ratio {geomean:.3f} "
           f"(floor {floor:.3f}) [{verdict}]")
     return geomean >= floor
 
@@ -89,6 +107,9 @@ def service_gate(path):
     doc = load(path)
     checked = 0
     ok = True
+    epoch_records = 0
+    total_reclaimed = 0.0
+    total_retired = 0.0
     for rec in doc["records"]:
         name = rec.get("name", "")
         if not name.startswith("service/"):
@@ -111,6 +132,16 @@ def service_gate(path):
             problems.append(f"sojourn p99 not finite/positive: {p99}")
         if not (math.isfinite(rate) and rate > 0):
             problems.append(f"ops_per_s not finite/positive: {rate}")
+        if extra.get("epoch_enabled", 0) > 0:
+            epoch_records += 1
+            busy_trims = extra.get("busy_trims", 0)
+            total_retired += extra.get("slabs_retired", 0)
+            total_reclaimed += extra.get("slabs_reclaimed", 0)
+            # The cadence (busy_trim_every << dispatch count) guarantees
+            # trims per record; slab yield varies with traffic shape, so
+            # the retire/reclaim assertion is document-wide, below.
+            if busy_trims <= 0:
+                problems.append("epoch enabled but busy_trims == 0")
         verdict = "ok" if not problems else "FAIL: " + "; ".join(problems)
         print(f"  {name}: completed {completed:,.0f}/{submitted:,.0f} "
               f"@ {rate:,.0f}/s, sojourn p99 {p99:.3f}ms [{verdict}]")
@@ -120,6 +151,17 @@ def service_gate(path):
         print(f"perf_smoke_gate: no service/ records in {path}",
               file=sys.stderr)
         sys.exit(2)
+    if epoch_records > 0:
+        reclaim_ok = total_reclaimed > 0
+        verdict = "ok" if reclaim_ok else "FAIL"
+        print(f"  busy-trim acceptance: slabs retired {total_retired:.0f}, "
+              f"reclaimed {total_reclaimed:.0f} across {epoch_records} "
+              f"epoch-enabled records [{verdict}]")
+        if not reclaim_ok:
+            print("perf_smoke_gate: epoch-enabled service never reclaimed a "
+                  "slab under load — busy trim is not doing its job",
+                  file=sys.stderr)
+            ok = False
     return ok
 
 
@@ -136,6 +178,13 @@ def main():
     ap.add_argument("--max-trace-overhead", type=float, default=0.03,
                     help="max geomean throughput loss of trace:off vs the "
                          "compiled-out build (default 0.03)")
+    ap.add_argument("--epoch-compare", metavar="NOEPOCH_JSON", default=None,
+                    help="future_churn document from a -DSPDAG_EPOCH=OFF "
+                         "build; bounds the pin/refresh/tick overhead of "
+                         "the epoch reclamation layer")
+    ap.add_argument("--max-epoch-overhead", type=float, default=0.03,
+                    help="max geomean throughput loss of the epoch-enabled "
+                         "build vs the compiled-out one (default 0.03)")
     ap.add_argument("--service", metavar="SERVICE_JSON", default=None,
                     help="service_traffic document; sanity-gates the "
                          "dag_service records (conservation + finite p99)")
@@ -185,10 +234,17 @@ def main():
                   file=sys.stderr)
             sys.exit(1)
     if args.trace_compare is not None:
-        if not trace_overhead_gate(doc, args.trace_compare,
-                                   args.max_trace_overhead):
+        if not overhead_gate(doc, args.trace_compare,
+                             args.max_trace_overhead, "trace:off"):
             print(f"perf_smoke_gate: FAIL - trace:off lost more than "
                   f"{args.max_trace_overhead:.0%} vs the compiled-out build",
+                  file=sys.stderr)
+            sys.exit(1)
+    if args.epoch_compare is not None:
+        if not overhead_gate(doc, args.epoch_compare,
+                             args.max_epoch_overhead, "epoch-on"):
+            print(f"perf_smoke_gate: FAIL - the epoch layer cost more than "
+                  f"{args.max_epoch_overhead:.0%} vs the compiled-out build",
                   file=sys.stderr)
             sys.exit(1)
     if failed:

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <vector>
 
+#include "mem/epoch.hpp"
 #include "obs/trace.hpp"
 #include "outset/factory.hpp"
 #include "util/rng.hpp"
@@ -31,6 +32,11 @@ void executor::enqueue_drain(outset_drain_task* t) {
     tls_drain_queue->push_back(t);
     return;
   }
+  // This path can run on threads no scheduler pins (the serial executor, a
+  // caller's own thread on the saturation fallback); drains walk out-set
+  // nodes whose recycled siblings a concurrent trim_live() could otherwise
+  // unmap, so hold a pin for the duration of the loop.
+  mem::epoch::pin_guard eg;
   std::vector<outset_drain_task*> queue;
   tls_drain_queue = &queue;
   t->run();
@@ -60,6 +66,11 @@ bool dag_engine::try_trim_pools(std::size_t* slabs_released) {
   const std::size_t released = pools_->trim();
   if (slabs_released != nullptr) *slabs_released = released;
   return true;
+}
+
+std::size_t dag_engine::trim_pools_live(std::size_t* slabs_reclaimed) {
+  obs::span_guard sg(obs::sp_trim);
+  return pools_->trim_live(slabs_reclaimed);
 }
 
 dag_engine::dag_engine(counter_factory& factory, executor& exec,

@@ -155,6 +155,17 @@ class dag_engine {
   // (if non-null) receives the slab count handed back upstream.
   bool try_trim_pools(std::size_t* slabs_released = nullptr);
 
+  // Live-mode trim: legal while this engine (and anything sharing its
+  // registry) is mid-run. Does NOT demand live_vertices() == 0 — it routes
+  // through pool_registry::trim_live(), which retires fully-free slabs into
+  // epoch limbo and frees them only after the 2-epoch delay proves no
+  // pinned worker can still reach them. Magazines stay untouched, so this
+  // is strictly weaker than trim_pools() but needs no quiescence window at
+  // all. Returns slabs retired this call; `*slabs_reclaimed` (if non-null)
+  // receives how many limbo slabs the accompanying reclaim sweep actually
+  // freed. A no-op returning 0 when the epoch layer is compiled out.
+  std::size_t trim_pools_live(std::size_t* slabs_reclaimed = nullptr);
+
   // Runs v's body with this-vertex context, signals if v is not dead, and
   // recycles v. Called by the executor's workers.
   void execute(vertex* v);

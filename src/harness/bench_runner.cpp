@@ -114,6 +114,11 @@ void print_pool_stats(std::ostream& os,
       os << " trims=" << row.stats.trims
          << " slabs_released=" << row.stats.slabs_released;
     }
+    if (row.stats.slabs_retired != 0) {
+      os << " slabs_retired=" << row.stats.slabs_retired
+         << " slabs_reclaimed=" << row.stats.slabs_reclaimed
+         << " limbo_cells=" << row.stats.limbo_cells;
+    }
     os << "\n";
   }
 }
@@ -226,6 +231,9 @@ void emit_pool_stats(std::ostream& os, const pool_stats& s) {
      << ",\"magazine_flushes\":" << s.magazine_flushes
      << ",\"trims\":" << s.trims << ",\"slabs_released\":" << s.slabs_released
      << ",\"cells_released\":" << s.cells_released
+     << ",\"slabs_retired\":" << s.slabs_retired
+     << ",\"slabs_reclaimed\":" << s.slabs_reclaimed
+     << ",\"limbo_cells\":" << s.limbo_cells
      << ",\"mag_grows\":" << s.mag_grows << ",\"mag_shrinks\":" << s.mag_shrinks
      << ",\"magazine_cells\":" << s.magazine_cells
      << ",\"recycle_cells\":" << s.recycle_cells

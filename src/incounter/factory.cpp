@@ -10,28 +10,26 @@
 namespace spdag {
 
 dep_counter* counter_factory::acquire(std::uint32_t initial) {
-  dep_counter* c = pool_.pop();
-  if (c == nullptr) {
-    auto fresh = create();
-    c = fresh.get();
-    std::lock_guard<std::mutex> lock(all_mu_);
-    all_.push_back(std::move(fresh));
-  }
+  dep_counter* c = bank_.pop();
+  if (c == nullptr) c = create_pooled(bank_);
   c->reset(initial);
   return c;
-}
-
-std::size_t counter_factory::created() const {
-  std::lock_guard<std::mutex> lock(all_mu_);
-  return all_.size();
 }
 
 std::unique_ptr<dep_counter> faa_factory::create() {
   return std::make_unique<faa_counter>();
 }
 
+dep_counter* faa_factory::create_pooled(object_bank<dep_counter>& bank) {
+  return bank.emplace<faa_counter>();
+}
+
 std::unique_ptr<dep_counter> fixed_snzi_factory::create() {
   return std::make_unique<fixed_snzi_counter>(depth_, 0, stats_, pair_pool_);
+}
+
+dep_counter* fixed_snzi_factory::create_pooled(object_bank<dep_counter>& bank) {
+  return bank.emplace<fixed_snzi_counter>(depth_, 0u, stats_, pair_pool_);
 }
 
 std::unique_ptr<dep_counter> incounter_factory::create() {
@@ -40,8 +38,18 @@ std::unique_ptr<dep_counter> incounter_factory::create() {
   return std::make_unique<incounter>(0, cfg);
 }
 
+dep_counter* incounter_factory::create_pooled(object_bank<dep_counter>& bank) {
+  incounter_config cfg = cfg_;
+  cfg.pair_pool = pair_pool_;
+  return bank.emplace<incounter>(0u, cfg);
+}
+
 std::unique_ptr<dep_counter> locked_factory::create() {
   return std::make_unique<locked_counter>();
+}
+
+dep_counter* locked_factory::create_pooled(object_bank<dep_counter>& bank) {
+  return bank.emplace<locked_counter>();
 }
 
 std::unique_ptr<counter_factory> make_counter_factory(const std::string& spec,

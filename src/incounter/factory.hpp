@@ -3,32 +3,39 @@
 //
 // The indegree-2 benchmark (paper Figure 10) creates one finish block — and
 // hence one counter — per pair of asyncs, millions of times. The factories
-// pool retired counters on a lock-free stack so allocation cost (the very
-// thing the paper's fixed-SNZI baseline suffers from at large depths) is the
-// structure's own, not malloc's.
+// pool retired counters through an object_bank (src/mem/object_bank.hpp):
+// counter objects are registry pool cells recycled over an intrusive stack,
+// so allocation cost (the very thing the paper's fixed-SNZI baseline
+// suffers from at large depths) is the structure's own, not malloc's — and
+// the counters' own storage shows up in the same registry stats and trim
+// accounting as every other runtime structure.
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <vector>
 
 #include "counter/dep_counter.hpp"
 #include "incounter/incounter.hpp"
+#include "mem/object_bank.hpp"
 #include "mem/registry.hpp"
-#include "util/treiber_stack.hpp"
 
 namespace spdag {
 
 class counter_factory {
  public:
+  // `pools` backs the counter objects themselves (null = default registry);
+  // borrowed, must outlive the factory. Concrete factories taking a
+  // registry for their internals (SNZI child pairs) pass the same one here,
+  // so a runtime's counters live entirely inside its registry.
+  explicit counter_factory(pool_registry* pools = nullptr)
+      : bank_(pools != nullptr ? *pools : default_pool_registry(), "counter") {}
   virtual ~counter_factory() = default;
 
   // Thread-safe: pops a pooled counter (or creates one) reset to `initial`.
   dep_counter* acquire(std::uint32_t initial);
 
   // Thread-safe: returns a drained counter to the pool.
-  void release(dep_counter* c) { pool_.push(c); }
+  void release(dep_counter* c) { bank_.push(c); }
 
   // Short machine name ("faa", "snzi:4", "dyn:100") and the label the paper's
   // plots use ("Fetch & Add", "SNZI depth=4", "in-counter").
@@ -36,18 +43,21 @@ class counter_factory {
   virtual std::string display_name() const = 0;
 
   // Counters created over the factory's lifetime (pool effectiveness).
-  std::size_t created() const;
+  std::size_t created() const { return bank_.created(); }
 
-  // A fresh, unpooled counter owned by the caller (decorators wrap these).
+  // A fresh, unpooled counter owned by the caller (decorators wrap these —
+  // deliberately heap-allocated, NOT a bank cell: the caller's unique_ptr
+  // must outlive nothing but itself).
   std::unique_ptr<dep_counter> make_unpooled() { return create(); }
 
  protected:
+  // Unpooled construction (make_unpooled / decorators).
   virtual std::unique_ptr<dep_counter> create() = 0;
+  // Pooled construction: emplace the concrete type into the bank.
+  virtual dep_counter* create_pooled(object_bank<dep_counter>& bank) = 0;
 
  private:
-  treiber_stack<dep_counter> pool_;
-  mutable std::mutex all_mu_;
-  std::vector<std::unique_ptr<dep_counter>> all_;
+  object_bank<dep_counter> bank_;
 };
 
 // --- concrete factories ---
@@ -59,6 +69,7 @@ class faa_factory final : public counter_factory {
 
  protected:
   std::unique_ptr<dep_counter> create() override;
+  dep_counter* create_pooled(object_bank<dep_counter>& bank) override;
 };
 
 class fixed_snzi_factory final : public counter_factory {
@@ -69,7 +80,8 @@ class fixed_snzi_factory final : public counter_factory {
   // draw from one set of slabs.
   explicit fixed_snzi_factory(int depth, snzi::tree_stats* stats = nullptr,
                               pool_registry* pools = nullptr)
-      : depth_(depth),
+      : counter_factory(pools),
+        depth_(depth),
         stats_(stats),
         pair_pool_(&snzi::child_pair_pool(
             pools != nullptr ? *pools : default_pool_registry())) {}
@@ -81,6 +93,7 @@ class fixed_snzi_factory final : public counter_factory {
 
  protected:
   std::unique_ptr<dep_counter> create() override;
+  dep_counter* create_pooled(object_bank<dep_counter>& bank) override;
 
  private:
   int depth_;
@@ -93,7 +106,8 @@ class incounter_factory final : public counter_factory {
   // See fixed_snzi_factory on `pools` / pair-pool sharing.
   explicit incounter_factory(incounter_config cfg = {},
                              pool_registry* pools = nullptr)
-      : cfg_(cfg),
+      : counter_factory(pools),
+        cfg_(cfg),
         pair_pool_(&snzi::child_pair_pool(
             pools != nullptr ? *pools : default_pool_registry())) {}
   std::string name() const override {
@@ -105,6 +119,7 @@ class incounter_factory final : public counter_factory {
 
  protected:
   std::unique_ptr<dep_counter> create() override;
+  dep_counter* create_pooled(object_bank<dep_counter>& bank) override;
 
  private:
   incounter_config cfg_;
@@ -118,6 +133,7 @@ class locked_factory final : public counter_factory {
 
  protected:
   std::unique_ptr<dep_counter> create() override;
+  dep_counter* create_pooled(object_bank<dep_counter>& bank) override;
 };
 
 // Parses a counter spec:

@@ -70,6 +70,13 @@ class timed_factory final : public counter_factory {
     return std::make_unique<timed_counter>(inner_->make_unpooled(), arrives_,
                                            departs_);
   }
+  // The wrapper cell is banked; the wrapped counter stays an unpooled
+  // heap object owned by the wrapper (timers must not skew the inner
+  // algorithm's own allocation path).
+  dep_counter* create_pooled(object_bank<dep_counter>& bank) override {
+    return bank.emplace<timed_counter>(inner_->make_unpooled(), arrives_,
+                                       departs_);
+  }
 
  private:
   std::unique_ptr<counter_factory> inner_;

@@ -20,10 +20,15 @@
 //     state neither allocate nor deallocate touches the upstream allocator.
 //
 // The pool hands out raw storage; construction/destruction is the caller's
-// (use pool_new / pool_delete below). Storage for every cell lives until the
-// pool is destroyed, so a deallocated-then-recycled cell is never unmapped
-// under a racing reader — the same stability guarantee the old per-structure
-// arenas gave the SNZI and out-set trees.
+// (use pool_new / pool_delete below). A deallocated-then-recycled cell may
+// be dereferenced by a racing reader (SNZI pair reuse, out-set node
+// recycling, the recycle list's own link walks); what makes that stale read
+// safe is the epoch protocol in src/mem/epoch.hpp: readers hold an epoch
+// pin, and a cell's storage is only unmapped — by trim() at quiescence or
+// by trim_live() after the 2-epoch limbo delay — once no pinned reader can
+// still reach it. That single protocol replaces the per-structure
+// "stale-but-mapped arena" arguments the SNZI and out-set trees used to
+// carry.
 
 #include <cstddef>
 #include <cstdint>
@@ -54,11 +59,17 @@ struct pool_stats {
                                     // population for good)
   std::uint64_t mag_grows = 0;      // adaptive effective-cap doublings
   std::uint64_t mag_shrinks = 0;    // adaptive effective-cap halvings
+  std::uint64_t slabs_retired = 0;  // fully-free slabs trim_live() parked in
+                                    // epoch limbo (epoch reclamation)
+  std::uint64_t slabs_reclaimed = 0;// limbo slabs actually freed after the
+                                    // 2-epoch safety delay
 
   // Gauges (snapshots, not counters) ---------------------------------------
   std::uint64_t magazine_cells = 0; // cells currently parked in magazines
   std::uint64_t recycle_cells = 0;  // cells currently on the global recycle
                                     // list
+  std::uint64_t limbo_cells = 0;    // cells in retired-but-not-yet-reclaimed
+                                    // slabs (epoch limbo)
   std::uint64_t mag_cap_lo = 0;     // smallest / largest effective magazine
   std::uint64_t mag_cap_hi = 0;     // capacity across live magazines (0 =
                                     // no magazine created yet)
@@ -97,8 +108,11 @@ struct pool_stats {
     cells_released += o.cells_released;
     mag_grows += o.mag_grows;
     mag_shrinks += o.mag_shrinks;
+    slabs_retired += o.slabs_retired;
+    slabs_reclaimed += o.slabs_reclaimed;
     magazine_cells += o.magazine_cells;
     recycle_cells += o.recycle_cells;
+    limbo_cells += o.limbo_cells;
     // Capacity gauges combine as an envelope: min of set minima, max of
     // maxima (0 means "no magazines yet" and is skipped).
     if (o.mag_cap_lo != 0) {
@@ -138,13 +152,24 @@ class object_pool {
   // caller must guarantee quiescence — no thread is inside allocate()/
   // deallocate() and none will be until trim returns (in the runtime:
   // between run()s, via dag_engine::trim_pools()). Live cells are legal and
-  // simply pin their slab. Safety of the stale-read stability argument: the
-  // argument only licenses RACING readers to dereference a just-recycled
-  // cell; at quiescence there are no racing readers, and any cell a live
-  // pointer can still reach is live (not free), so its slab is never
-  // released. Outside quiescence trim would be a use-after-free factory —
-  // hence the hard gate. Default: nothing pooled, nothing to release.
+  // simply pin their slab. Safety, in epoch terms (src/mem/epoch.hpp): at
+  // quiescence no thread is pinned, so there is no reader the 2-epoch delay
+  // would have to wait for — trim may skip limbo and free immediately. This
+  // is the degenerate case of the protocol, not a separate argument, and it
+  // is all that remains when the epoch layer is compiled out
+  // (-DSPDAG_EPOCH=OFF). Default: nothing pooled, nothing to release.
   virtual std::size_t trim() { return 0; }
+
+  // Live-traffic maintenance, legal under concurrent allocate()/deallocate()
+  // traffic (requires the epoch subsystem; returns 0 when it is compiled
+  // out). Drains the global recycle list, and every slab whose cells all
+  // turned out to be free is RETIRED into epoch limbo rather than freed —
+  // epoch::reclaim() frees it once two epoch advances prove no pinned
+  // reader can still hold a stale pointer into it. Magazines are left
+  // untouched (their cells are considered in use), so trim_live() is
+  // strictly more conservative than a quiescent trim(). Returns the number
+  // of slabs retired this call.
+  virtual std::size_t trim_live() { return 0; }
 
   const std::string& name() const noexcept { return name_; }
   std::size_t object_bytes() const noexcept { return object_bytes_; }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "mem/epoch.hpp"
 #include "mem/malloc_pool.hpp"
 #include "mem/slab_pool.hpp"
 
@@ -40,10 +41,47 @@ pool_stats pool_registry::totals() const {
 }
 
 std::size_t pool_registry::trim() {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t released = 0;
-  for (const auto& p : pools_) released += p->trim();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& p : pools_) released += p->trim();
+  }
+  if (mem::epoch::enabled()) {
+    // At quiescence no OTHER thread is pinned, so both advances succeed and
+    // whatever an earlier live trim parked in limbo becomes reclaimable.
+    // The caller itself may hold a loop-scoped pin (the service dispatcher
+    // does) — it holds no stale pointers here, so refreshing its own record
+    // between the advances keeps it from being the laggard that blocks the
+    // second one.
+    mem::epoch::try_advance();
+    mem::epoch::refresh();
+    mem::epoch::try_advance();
+    released += mem::epoch::reclaim();
+  }
   return released;
+}
+
+std::size_t pool_registry::trim_live(std::size_t* reclaimed) {
+  std::size_t retired = 0;
+  if (mem::epoch::enabled()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& p : pools_) retired += p->trim_live();
+    }
+    // The caller holds no stale pointers at this boundary (trim_live's own
+    // pins are scoped inside the drain); republish its record so a
+    // loop-pinned caller never blocks the very advance it is driving.
+    mem::epoch::refresh();
+    mem::epoch::try_advance();
+    if (reclaimed != nullptr) {
+      *reclaimed = mem::epoch::reclaim();
+    } else {
+      mem::epoch::reclaim();
+    }
+  } else if (reclaimed != nullptr) {
+    *reclaimed = 0;
+  }
+  return retired;
 }
 
 std::unique_ptr<object_pool> malloc_pool_registry::create(std::string name,

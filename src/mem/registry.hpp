@@ -63,8 +63,19 @@ class pool_registry {
   // EVERY engine and structure drawing from this registry — for a
   // runtime-owned registry that is its one engine between run()s
   // (dag_engine::trim_pools); for the process-wide default registry the
-  // caller must know no engine sharing it is running.
+  // caller must know no engine sharing it is running. Also drives the epoch
+  // machinery far enough (two advances + a reclaim, trivially successful at
+  // quiescence) to flush any slabs an earlier trim_live() left in limbo;
+  // those count toward the returned total.
   std::size_t trim();
+
+  // Live-traffic trim (see object_pool::trim_live): legal under concurrent
+  // traffic, retires fully-free slabs into epoch limbo and then drives one
+  // advance + reclaim sweep. Returns the number of slabs retired this call;
+  // `reclaimed`, when non-null, receives how many limbo slabs (from any
+  // earlier retire on this process's epoch domain) were actually freed.
+  // Returns 0 with the epoch subsystem compiled out.
+  std::size_t trim_live(std::size_t* reclaimed = nullptr);
 
   // The spec string this registry was built from ("malloc", "pool", ...).
   virtual std::string spec() const = 0;

@@ -5,6 +5,7 @@
 #include <new>
 #include <stdexcept>
 
+#include "mem/epoch.hpp"
 #include "obs/trace.hpp"
 
 namespace spdag {
@@ -73,6 +74,10 @@ slab_cache::slab_cache(std::string name, std::size_t object_bytes,
 }
 
 slab_cache::~slab_cache() {
+  // Run any limbo callbacks still pointing at this pool before the member
+  // counters they touch disappear (quiescent by the pool's own lifetime
+  // contract — no reader outlives its pool).
+  mem::epoch::flush_owner(this);
   for (auto& slot : mags_) {
     magazine* m = slot.load(std::memory_order_acquire);
     if (m != nullptr) magazine_destroy(m);
@@ -129,7 +134,13 @@ void* slab_cache::allocate() {
     return p;
   }
   // Over-subscribed thread: no magazine, straight to the shared layers.
-  void* p = pop_global();
+  void* p;
+  {
+    // pop_global reads the link of a cell a racing thread may pop and a
+    // racing trim_live may retire; the pin keeps that stale read mapped.
+    mem::epoch::pin_guard pin;
+    p = pop_global();
+  }
   if (p == nullptr) {
     std::uint32_t got = 0;
     carve(&p, 1, got);
@@ -203,10 +214,15 @@ void slab_cache::refill(magazine& m) {
   const std::uint32_t batch = m.cap.load(std::memory_order_relaxed) / 2;
   void** items = m.items();
   std::uint32_t cnt = 0;
-  while (cnt < batch) {
-    void* p = pop_global();
-    if (p == nullptr) break;
-    items[cnt++] = p;
+  {
+    // Pin across the pop batch (see allocate's bypass path). Workers are
+    // already pinned by their loop — this only bumps their nesting depth.
+    mem::epoch::pin_guard pin;
+    while (cnt < batch) {
+      void* p = pop_global();
+      if (p == nullptr) break;
+      items[cnt++] = p;
+    }
   }
   if (cnt == 0) {
     carve(items, batch, cnt);
@@ -397,6 +413,124 @@ std::size_t slab_cache::trim() {
   return released;
 }
 
+// Live-traffic trim (contract in pool.hpp): concurrent allocate/deallocate
+// is legal. Only the global recycle list is harvested — magazine cells
+// belong to their owner threads and count as in use — and fully-free slabs
+// are retired into epoch limbo instead of freed. Conservatism under races:
+// a cell freed concurrently with the drain either makes it into our set
+// (fine) or lands back on the list after it (its slab just looks occupied
+// this round); a concurrent carve only appends a new slab, which the
+// cursor-slab exclusion below already spares.
+std::size_t slab_cache::trim_live() {
+  if (!mem::epoch::enabled()) return 0;
+  trims_.fetch_add(1, std::memory_order_relaxed);
+  // Pin for our own pop_global link walks.
+  mem::epoch::pin_guard pin;
+
+  // 1. Drain the recycle list, bounded by its length at entry so this
+  //    cannot chase a storm of concurrent frees forever.
+  std::vector<void*> free_cells;
+  std::uint64_t bound = global_cells_.load(std::memory_order_acquire);
+  free_cells.reserve(static_cast<std::size_t>(bound));
+  while (bound-- > 0) {
+    void* p = pop_global();
+    if (p == nullptr) break;
+    free_cells.push_back(p);
+  }
+  if (free_cells.empty()) return 0;
+
+  std::size_t retired = 0;
+  std::size_t retired_cells = 0;
+  {
+    std::lock_guard<std::mutex> lock(grow_mu_);
+
+    // 2. Per-slab occupancy over OUR drained set only (same address-range
+    //    location as trim()).
+    std::vector<char*> bases;
+    bases.reserve(slabs_.size());
+    for (void* s : slabs_) bases.push_back(static_cast<char*>(s));
+    std::sort(bases.begin(), bases.end());
+    auto slab_index = [&](void* cell) {
+      auto it = std::upper_bound(bases.begin(), bases.end(),
+                                 static_cast<char*>(cell));
+      return static_cast<std::size_t>(it - bases.begin()) - 1;
+    };
+    std::vector<std::size_t> freed(bases.size(), 0);
+    for (void* c : free_cells) ++freed[slab_index(c)];
+
+    // 3. A slab is retireable when every cell it ever carved is in our
+    //    hands. The cursor slab is never retired: it is partially carved,
+    //    about to serve the next carve anyway, and sparing it means every
+    //    limbo slab has exactly slab_bytes_/stride_ cells — which is what
+    //    lets reclaim_slab() keep the limbo_cells gauge without a per-slab
+    //    side table.
+    const std::size_t cells_per_slab = slab_bytes_ / stride_;
+    const char* cursor_base =
+        cursor_ == nullptr ? nullptr : static_cast<char*>(slabs_.back());
+    std::vector<char> retire_flag(bases.size(), 0);
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      if (bases[i] != cursor_base && freed[i] == cells_per_slab) {
+        retire_flag[i] = 1;
+        ++retired;
+        retired_cells += cells_per_slab;
+      }
+    }
+
+    // 4. Cells of surviving slabs go back onto the recycle list as one
+    //    chain; cells of retired slabs ride into limbo with their slab.
+    void* head = nullptr;
+    void* tail = nullptr;
+    std::uint32_t kept_cells = 0;
+    for (void* c : free_cells) {
+      if (retire_flag[slab_index(c)]) continue;
+      link_of(c)->store(head, std::memory_order_relaxed);
+      if (head == nullptr) tail = c;
+      head = c;
+      ++kept_cells;
+    }
+    if (kept_cells > 0) push_global(head, tail, kept_cells);
+
+    // 5. Retire: out of slabs_ and into epoch limbo. The storage stays
+    //    mapped until reclaim_slab runs, so a reader pinned right now may
+    //    still dereference these cells safely.
+    if (retired > 0) {
+      std::vector<void*> kept;
+      kept.reserve(slabs_.size() - retired);
+      for (void* s : slabs_) {
+        const std::size_t i = static_cast<std::size_t>(
+            std::lower_bound(bases.begin(), bases.end(),
+                             static_cast<char*>(s)) -
+            bases.begin());
+        if (retire_flag[i]) {
+          mem::epoch::retire(&slab_cache::reclaim_slab, this, s);
+        } else {
+          kept.push_back(s);
+        }
+      }
+      slabs_.swap(kept);
+    }
+  }
+  if (retired > 0) {
+    slabs_retired_.fetch_add(retired, std::memory_order_relaxed);
+    cells_released_.fetch_add(retired_cells, std::memory_order_relaxed);
+    limbo_cells_.fetch_add(retired_cells, std::memory_order_relaxed);
+    obs::emit(obs::ev_slab_retire, 0, static_cast<std::uint32_t>(retired));
+  }
+  return retired;
+}
+
+void slab_cache::reclaim_slab(void* self, void* slab) noexcept {
+  auto* c = static_cast<slab_cache*>(self);
+  std::free(slab);
+  c->slabs_reclaimed_.fetch_add(1, std::memory_order_relaxed);
+  c->limbo_cells_.fetch_sub(c->slab_bytes_ / c->stride_,
+                            std::memory_order_relaxed);
+  obs::emit(obs::ev_slab_reclaim, 0,
+            static_cast<std::uint32_t>(c->slab_bytes_ / 1024));
+  obs::gauge_add(obs::g_slab_kib,
+                 -static_cast<std::int64_t>(c->slab_bytes_ / 1024));
+}
+
 pool_stats slab_cache::stats() const {
   pool_stats s;
   s.allocs = g_allocs_.load(std::memory_order_relaxed);
@@ -408,7 +542,10 @@ pool_stats slab_cache::stats() const {
   s.trims = trims_.load(std::memory_order_relaxed);
   s.slabs_released = slabs_released_.load(std::memory_order_relaxed);
   s.cells_released = cells_released_.load(std::memory_order_relaxed);
+  s.slabs_retired = slabs_retired_.load(std::memory_order_relaxed);
+  s.slabs_reclaimed = slabs_reclaimed_.load(std::memory_order_relaxed);
   s.recycle_cells = global_cells_.load(std::memory_order_relaxed);
+  s.limbo_cells = limbo_cells_.load(std::memory_order_relaxed);
   for (const auto& slot : mags_) {
     const magazine* m = slot.load(std::memory_order_acquire);
     if (m == nullptr) continue;

@@ -21,13 +21,17 @@
 //   3. Block-allocated slabs. Only when the global list is dry does a
 //      refill carve fresh cells from the current slab, growing a new slab
 //      from the upstream allocator when exhausted (the only path that ever
-//      calls aligned_alloc, counted in stats().slab_growths). While the
-//      pool is running, slabs are never returned, so recycled cells stay
-//      mapped — racing readers of a just-retired SNZI node or out-set node
-//      observe stale-but-valid memory, exactly as with the old
-//      per-structure arenas. trim() (quiescent-only, see pool.hpp) is the
-//      one exception: with no racing readers possible it may hand
-//      fully-free slabs back upstream.
+//      calls aligned_alloc, counted in stats().slab_growths). Slabs leave
+//      through two doors, both governed by the epoch protocol
+//      (src/mem/epoch.hpp): trim() at quiescence frees fully-free slabs
+//      immediately (no pinned readers to wait for), and trim_live() under
+//      live traffic RETIRES them into epoch limbo, where they stay mapped
+//      until two epoch advances prove no pinned reader — a racing
+//      recycle-list pop, a stale SNZI-pair or out-set-node dereference on a
+//      pinned worker — can still reach a cell inside them. The pool's own
+//      stale reads (pop_global walking links of cells another thread may
+//      pop concurrently) pin around the pop, so they are covered by the
+//      same argument.
 //
 // Adaptive mode (`adaptive = true`, spec `alloc:...:adaptive`): each
 // magazine's EFFECTIVE capacity moves at runtime inside
@@ -84,6 +88,7 @@ class slab_cache : public object_pool {
   void deallocate(void* p) noexcept override;
   pool_stats stats() const override;
   std::size_t trim() override;
+  std::size_t trim_live() override;
 
   std::size_t cell_stride() const noexcept { return stride_; }
   std::size_t slab_bytes() const noexcept { return slab_bytes_; }
@@ -146,6 +151,8 @@ class slab_cache : public object_pool {
   void* pop_global() noexcept;
   void push_global(void* first, void* last, std::uint32_t n) noexcept;
   static bool restamp(void* p, int slot) noexcept;
+  // Epoch limbo callback: frees one retired slab (mem::epoch::retire's fn).
+  static void reclaim_slab(void* self, void* slab) noexcept;
 
   std::size_t hdr_space_;   // bytes before the object: link + pad + stamp
   std::size_t stride_;      // full cell size, object_align-multiple
@@ -175,6 +182,11 @@ class slab_cache : public object_pool {
   std::atomic<std::uint64_t> trims_{0};
   std::atomic<std::uint64_t> slabs_released_{0};
   std::atomic<std::uint64_t> cells_released_{0};
+  // Epoch live-trim lifecycle: retired (parked in limbo) vs reclaimed
+  // (actually freed, by reclaim_slab after the 2-epoch delay).
+  std::atomic<std::uint64_t> slabs_retired_{0};
+  std::atomic<std::uint64_t> slabs_reclaimed_{0};
+  std::atomic<std::uint64_t> limbo_cells_{0};
 };
 
 // Typed convenience over slab_cache for callers that own their pool outright

@@ -80,7 +80,8 @@ constexpr event_id span_end_ev[span_id_count] = {
     ev_work_end, ev_idle_end,     ev_steal_end,
     ev_drain_end, ev_finalize_end, ev_trim_end};
 constexpr event_id gauge_ev[gauge_id_count] = {
-    ev_ctr_runnable, ev_ctr_drains_pending, ev_ctr_slab_kib, ev_ctr_inflight};
+    ev_ctr_runnable, ev_ctr_drains_pending, ev_ctr_slab_kib, ev_ctr_inflight,
+    ev_ctr_epoch_lag};
 
 std::size_t round_up_pow2(std::size_t v) noexcept {
   std::size_t p = 1;
@@ -319,6 +320,12 @@ trace_summary tracer::summary() const {
     s.slab_carves += t->counts[ev_slab_carve].load(std::memory_order_relaxed);
     s.slab_releases +=
         t->counts[ev_slab_release].load(std::memory_order_relaxed);
+    s.epoch_advances +=
+        t->counts[ev_epoch_advance].load(std::memory_order_relaxed);
+    s.slab_retires +=
+        t->counts[ev_slab_retire].load(std::memory_order_relaxed);
+    s.slab_reclaims +=
+        t->counts[ev_slab_reclaim].load(std::memory_order_relaxed);
   }
   const double to_s = ns_per_tick * 1e-9;
   s.work_s = static_cast<double>(span_ticks[sp_work]) * to_s;

@@ -106,11 +106,17 @@ enum event_id : std::uint16_t {
   ev_reject,          // submission refused (admission cap or shutdown)
   ev_submit_complete, // submission's final vertex ran;
                       // b = sojourn in µs (submit -> complete)
+  // Epoch-based reclamation (src/mem/epoch.hpp): live-trim lifecycle.
+  ev_epoch_advance,   // global epoch moved; b = new epoch (low 32 bits)
+  ev_slab_retire,     // live trim parked slabs in limbo; b = slab count
+  ev_slab_reclaim,    // limbo slab freed after the 2-epoch delay;
+                      // b = slab KiB returned upstream
   // Counter samples (b = post-update gauge value, clamped to u32).
   ev_ctr_runnable,
   ev_ctr_drains_pending,
   ev_ctr_slab_kib,
   ev_ctr_inflight,
+  ev_ctr_epoch_lag,
   event_id_count
 };
 
@@ -132,6 +138,8 @@ enum gauge_id : int {
   g_drains_pending,     // drain tasks on a scheduler lane, not yet run
   g_slab_kib,           // slab bytes currently held from upstream, in KiB
   g_inflight,           // dag_service submissions admitted, not yet complete
+  g_epoch_lag,          // how far the oldest pinned record trails the
+                        // global epoch (epoch-based reclamation)
   gauge_id_count
 };
 
@@ -182,6 +190,10 @@ struct trace_summary {
   std::uint64_t mag_flushes = 0;
   std::uint64_t slab_carves = 0;
   std::uint64_t slab_releases = 0;
+  // Epoch-based reclamation lifecycle (zero with -DSPDAG_EPOCH=OFF).
+  std::uint64_t epoch_advances = 0;
+  std::uint64_t slab_retires = 0;
+  std::uint64_t slab_reclaims = 0;
 
   static const char* mode_name(trace_mode m) noexcept {
     return m == trace_mode::full ? "full"

@@ -49,10 +49,14 @@ const ev_info& info_for(std::uint16_t id) noexcept {
       {ev_kind::instant, -1, "admit"},
       {ev_kind::instant, -1, "reject"},
       {ev_kind::instant, -1, "submit_complete"},
+      {ev_kind::instant, -1, "epoch_advance"},
+      {ev_kind::instant, -1, "slab_retire"},
+      {ev_kind::instant, -1, "slab_reclaim"},
       {ev_kind::counter, -1, "runnable"},
       {ev_kind::counter, -1, "drains_pending"},
       {ev_kind::counter, -1, "slab_kib"},
       {ev_kind::counter, -1, "inflight"},
+      {ev_kind::counter, -1, "epoch_lag"},
   };
   static const ev_info unknown = {};
   return id < event_id_count ? table[id] : unknown;

@@ -1,6 +1,7 @@
 #include "outset/factory.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "outset/simple_outset.hpp"
 #include "util/cache_aligned.hpp"
@@ -33,22 +34,18 @@ std::uint64_t parse_spec_u64(const std::string& field,
 
 outset_factory::outset_factory(pool_registry* pools)
     : pools_(pools != nullptr ? pools : &default_pool_registry()),
-      waiter_pool_(&outset_waiter_pool(*pools_)) {}
+      waiter_pool_(&outset_waiter_pool(*pools_)),
+      bank_(*pools_, "outset") {}
 
 outset* outset_factory::acquire() {
-  outset* o = pool_.pop();
-  if (o == nullptr) {
-    auto fresh = create();
-    o = fresh.get();
-    std::lock_guard<std::mutex> lock(all_mu_);
-    all_.push_back(std::move(fresh));
-  }
+  outset* o = bank_.pop();
+  if (o == nullptr) o = create_pooled(bank_);
   return o;
 }
 
 void outset_factory::release(outset* o) {
   o->reset(&repool_waiter, this);
-  pool_.push(o);
+  bank_.push(o);
 }
 
 outset_waiter* outset_factory::acquire_waiter(vertex* consumer,
@@ -59,24 +56,18 @@ outset_waiter* outset_factory::acquire_waiter(vertex* consumer,
   return w;
 }
 
-std::size_t outset_factory::created() const {
-  std::lock_guard<std::mutex> lock(all_mu_);
-  return all_.size();
-}
-
 std::size_t outset_factory::waiters_created() const {
   return waiter_pool_->stats().carved;
 }
 
 outset_totals outset_factory::totals() const {
-  std::lock_guard<std::mutex> lock(all_mu_);
   outset_totals t;
-  for (const auto& o : all_) t += o->totals();
+  bank_.for_each([&t](const outset& o) { t += o.totals(); });
   return t;
 }
 
-std::unique_ptr<outset> simple_outset_factory::create() {
-  return std::make_unique<simple_outset>();
+outset* simple_outset_factory::create_pooled(object_bank<outset>& bank) {
+  return bank.emplace<simple_outset>();
 }
 
 tree_outset_factory::tree_outset_factory(tree_outset_config cfg,
@@ -89,8 +80,8 @@ tree_outset_factory::tree_outset_factory(tree_outset_config cfg,
   cfg_.pools = &this->pools();
 }
 
-std::unique_ptr<outset> tree_outset_factory::create() {
-  return std::make_unique<tree_outset>(cfg_);
+outset* tree_outset_factory::create_pooled(object_bank<outset>& bank) {
+  return bank.emplace<tree_outset>(cfg_);
 }
 
 std::unique_ptr<outset_factory> make_outset_factory(const std::string& spec,

@@ -3,8 +3,10 @@
 //
 // Future-churn workloads (the fan-out analogue of the paper's Figure 10)
 // create one future — and hence one out-set — per iteration, millions of
-// times. The factory pools retired out-sets and waiter records on lock-free
-// stacks so the benchmarks measure the structure's own cost, not malloc's.
+// times. The factory pools retired out-sets through an object_bank
+// (src/mem/object_bank.hpp — out-set objects are registry pool cells
+// recycled over an intrusive stack) and waiter records directly as slab
+// cells, so the benchmarks measure the structure's own cost, not malloc's.
 //
 // Spec strings (accepted with or without the "outset:" prefix):
 //   "simple"                     single CAS-list head (the baseline)
@@ -36,14 +38,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <vector>
 
+#include "mem/object_bank.hpp"
 #include "mem/registry.hpp"
 #include "outset/outset.hpp"
 #include "outset/tree_outset.hpp"
-#include "util/treiber_stack.hpp"
 
 namespace spdag {
 
@@ -71,7 +71,7 @@ class outset_factory {
   virtual std::string display_name() const = 0;
 
   // Out-sets created over the factory's lifetime (pool effectiveness).
-  std::size_t created() const;
+  std::size_t created() const { return bank_.created(); }
   // Waiter cells ever carved by the backing pool. Registry-scoped: factories
   // sharing one registry share the count.
   std::size_t waiters_created() const;
@@ -86,14 +86,13 @@ class outset_factory {
   outset_totals totals() const;
 
  protected:
-  virtual std::unique_ptr<outset> create() = 0;
+  // Pooled construction: emplace the concrete out-set type into the bank.
+  virtual outset* create_pooled(object_bank<outset>& bank) = 0;
 
  private:
   pool_registry* pools_;
   object_pool* waiter_pool_;
-  treiber_stack<outset> pool_;
-  mutable std::mutex all_mu_;
-  std::vector<std::unique_ptr<outset>> all_;
+  object_bank<outset> bank_;
 };
 
 // --- concrete factories ---
@@ -105,7 +104,7 @@ class simple_outset_factory final : public outset_factory {
   std::string display_name() const override { return "CAS list"; }
 
  protected:
-  std::unique_ptr<outset> create() override;
+  outset* create_pooled(object_bank<outset>& bank) override;
 };
 
 class tree_outset_factory final : public outset_factory {
@@ -133,7 +132,7 @@ class tree_outset_factory final : public outset_factory {
   const tree_outset_config& config() const noexcept { return cfg_; }
 
  protected:
-  std::unique_ptr<outset> create() override;
+  outset* create_pooled(object_bank<outset>& bank) override;
 
  private:
   tree_outset_config cfg_;

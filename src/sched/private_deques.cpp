@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "mem/epoch.hpp"
 #include "obs/trace.hpp"
 #include "outset/outset.hpp"
 #include "util/backoff.hpp"
@@ -134,6 +135,12 @@ void private_deque_scheduler::unpark_some() {
 }
 
 void private_deque_scheduler::communicate(std::size_t id, bool can_give) {
+  // communicate() is this scheduler's natural epoch communication point: it
+  // runs only between tasks (busy-loop top, idle path, try_steal's answer
+  // spin), when the worker provably holds no stale runtime pointers — so
+  // refreshing the pin and occasionally driving advance/reclaim here is
+  // legal, and it keeps epoch progress proportional to scheduler activity.
+  mem::epoch::tick();
   worker& me = workers_[id]->value;
   const int thief = me.request.value.load(std::memory_order_acquire);
   if (thief == no_request) return;
@@ -200,7 +207,13 @@ void private_deque_scheduler::worker_main(std::size_t id) {
   xoshiro256 rng(mix64(0xa076'1d64'78bd'642fULL ^ (id + 1)));
   worker& me = workers_[id]->value;
 
+  // Same protocol as the ws scheduler (scheduler.cpp): pinned for the whole
+  // loop so every stale read is epoch-covered, refreshed at the loop top,
+  // ticked inside communicate(), unpinned across the park below.
+  mem::epoch::pin_guard eg;
+
   while (!shutdown_.load(std::memory_order_acquire)) {
+    mem::epoch::refresh();
     if (!me.tasks.empty()) {
       // Busy: poll for steal requests, then run the newest task (LIFO for
       // locality; thieves get the oldest through communicate()).
@@ -280,16 +293,24 @@ void private_deque_scheduler::worker_main(std::size_t id) {
     if (got) continue;
 
     // Park briefly; the timeout bounds both lost wakeups and the extra
-    // latency a spinning thief sees while we sleep.
-    std::unique_lock<std::mutex> lock(park_mu_);
-    if (shutdown_.load(std::memory_order_acquire)) break;
-    me.parks.fetch_add(1, std::memory_order_relaxed);
-    parked_.fetch_add(1, std::memory_order_acq_rel);
+    // latency a spinning thief sees while we sleep. Unpin across the wait
+    // (a sleeping worker must not stall the global epoch); the shutdown
+    // check is an if-guard, not a break, so the unpin/pin bracket stays
+    // balanced and the loop condition re-checks shutdown.
+    mem::epoch::unpin();
     {
-      obs::span_guard sg(obs::sp_idle);
-      park_cv_.wait_for(lock, cfg_.park_timeout);
+      std::unique_lock<std::mutex> lock(park_mu_);
+      if (!shutdown_.load(std::memory_order_acquire)) {
+        me.parks.fetch_add(1, std::memory_order_relaxed);
+        parked_.fetch_add(1, std::memory_order_acq_rel);
+        {
+          obs::span_guard sg(obs::sp_idle);
+          park_cv_.wait_for(lock, cfg_.park_timeout);
+        }
+        parked_.fetch_sub(1, std::memory_order_acq_rel);
+      }
     }
-    parked_.fetch_sub(1, std::memory_order_acq_rel);
+    mem::epoch::pin();
   }
 }
 

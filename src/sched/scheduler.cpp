@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "mem/epoch.hpp"
 #include "obs/trace.hpp"
 #include "outset/outset.hpp"
 #include "util/backoff.hpp"
@@ -145,7 +146,19 @@ void scheduler::worker_main(std::size_t id) {
   if (cfg_.pin_threads) pin_current_thread(id);
   xoshiro256 rng(mix64(0x9e3779b97f4a7c15ULL ^ (id + 1)));
 
+  // Workers stay epoch-pinned for their whole loop: every stale read a
+  // worker can perform — SNZI pair reuse inside execute(), out-set node
+  // walks in a drain, the pool's own recycle-list pops — is then covered by
+  // the pin, and trim_live() can run concurrently without a stop-the-world
+  // phase. The pin is REFRESHED (never held across an epoch boundary while
+  // stale pointers exist) at the loop top, where the worker provably holds
+  // no runtime pointers; steal/idle transitions additionally tick() the
+  // advance machinery, so a busy scheduler makes epoch progress without any
+  // dedicated reclaimer thread.
+  mem::epoch::pin_guard eg;
+
   while (!shutdown_.load(std::memory_order_acquire)) {
+    mem::epoch::refresh();
     vertex* v = find_work(id, rng);
     if (v != nullptr) {
       dag_engine* eng = engine_.load(std::memory_order_acquire);
@@ -166,21 +179,33 @@ void scheduler::worker_main(std::size_t id) {
       }
       continue;
     }
-    // No vertex anywhere: an idle worker is exactly who should steal a
-    // subtree drain (the dag's critical path keeps priority over broadcast
-    // bookkeeping).
+    // No vertex anywhere: a steal-failure transition is a natural epoch
+    // communication point — no stale pointers are held, so tick the advance
+    // machinery before looking for drain work.
+    mem::epoch::tick();
+    // An idle worker is exactly who should steal a subtree drain (the dag's
+    // critical path keeps priority over broadcast bookkeeping).
     if (run_one_drain(static_cast<int>(id))) continue;
     // Out of work: park briefly. The timeout (rather than precise wakeup
     // accounting) keeps the protocol simple and bounds lost-wakeup cost.
-    std::unique_lock<std::mutex> lock(park_mu_);
-    if (shutdown_.load(std::memory_order_acquire)) break;
-    workers_[id]->value.parks.fetch_add(1, std::memory_order_relaxed);
-    parked_.fetch_add(1, std::memory_order_acq_rel);
+    // Unpin across the wait — a sleeping worker must not stall the global
+    // epoch — and re-pin on wake, before the loop touches anything pooled.
+    // The shutdown check is an if-guard (not a break) so the unpin/pin
+    // bracket stays balanced; the loop condition re-checks shutdown.
+    mem::epoch::unpin();
     {
-      obs::span_guard sg(obs::sp_idle);
-      park_cv_.wait_for(lock, cfg_.park_timeout);
+      std::unique_lock<std::mutex> lock(park_mu_);
+      if (!shutdown_.load(std::memory_order_acquire)) {
+        workers_[id]->value.parks.fetch_add(1, std::memory_order_relaxed);
+        parked_.fetch_add(1, std::memory_order_acq_rel);
+        {
+          obs::span_guard sg(obs::sp_idle);
+          park_cv_.wait_for(lock, cfg_.park_timeout);
+        }
+        parked_.fetch_sub(1, std::memory_order_acq_rel);
+      }
     }
-    parked_.fetch_sub(1, std::memory_order_acq_rel);
+    mem::epoch::pin();
   }
 }
 

@@ -7,14 +7,27 @@
 // queue of Michael & Scott (PODC'96), with one twist matched to this
 // repo's memory discipline: nodes live in a grow-only chunked arena and
 // links/head/tail are {index:32, tag:32} words packed into one 64-bit
-// atomic. The 32-bit tag is the original algorithm's modification counter
-// — it makes every CAS ABA-safe without a 128-bit CAS, hazard pointers or
-// epochs — and the arena gives the same stale-read stability guarantee the
-// slab pools rely on: a node freed to the internal free list is never
-// unmapped, so a lagging thread that dereferences it through a stale
-// reference reads stale-but-mapped memory and then fails its tag-checked
-// CAS. Freed nodes recycle through a tagged Treiber free list, so a queue
-// that reaches its high-water mark stops allocating entirely.
+// atomic. The 32-bit tag is the original algorithm's modification counter,
+// which makes every CAS ABA-safe without a 128-bit CAS or hazard pointers.
+//
+// Stale-read safety: the slab pools reclaim memory under the epoch protocol
+// (src/mem/epoch.hpp — pinned readers, 2-epoch limbo delay). The queue does
+// NOT need that machinery, and the reason is worth stating precisely: its
+// nodes recycle through an internal tagged Treiber free list but their
+// storage is never unmapped before the queue is destroyed (chunks are freed
+// only in the destructor, after every user thread is gone). A lagging
+// thread that dereferences a recycled node therefore reads stale-but-MAPPED
+// memory, and the tag-checked CAS it performs next rejects the stale value.
+// That is the same end state the epoch protocol buys the pools — no read of
+// unmapped memory, no acted-upon stale value — reached here by bounding the
+// arena instead of delaying the unmap, which is the right trade for a
+// structure whose node population is capped by admission control anyway.
+//
+// The cap is explicit: the arena holds at most MaxChunks * 256 nodes, and
+// exhausting it is an ADMISSION FAILURE, not an exception — push() returns
+// false (counted in failed_pushes()) and the caller surfaces the reject.
+// A queue that reaches its high-water mark below the cap stops allocating
+// entirely, recycling through the free list.
 //
 // The queue stores plain pointers; it does not own what they point at.
 
@@ -27,13 +40,16 @@
 
 namespace spdag {
 
-template <typename T>
+template <typename T, std::size_t MaxChunks = 4096>
 class mpmc_queue {
  public:
   mpmc_queue() {
     // Seed the arena and install the initial dummy node (MS queue shape:
-    // head always points at a dummy; head == tail means empty).
+    // head always points at a dummy; head == tail means empty). The first
+    // allocation cannot fail: the arena is empty and MaxChunks >= 1.
+    static_assert(MaxChunks >= 1, "mpmc_queue needs at least one chunk");
     const std::uint32_t dummy = alloc_node();
+    assert(dummy != null_idx);
     node_at(dummy)->next.store(pack(null_idx, 0), std::memory_order_relaxed);
     head_.store(pack(dummy, 0), std::memory_order_relaxed);
     tail_.store(pack(dummy, 0), std::memory_order_relaxed);
@@ -46,8 +62,16 @@ class mpmc_queue {
     for (auto& slot : chunks_) delete[] slot.load(std::memory_order_relaxed);
   }
 
-  void push(T* value) {
+  // Enqueues `value`. Returns false — without blocking, throwing, or
+  // touching the queue — when the node arena is exhausted (the MaxChunks
+  // cap); the reject is tallied in failed_pushes() and the caller decides
+  // how to surface it (the dag_service reports it as an admission reject).
+  [[nodiscard]] bool push(T* value) {
     const std::uint32_t n = alloc_node();
+    if (n == null_idx) {
+      failed_pushes_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     node* nn = node_at(n);
     nn->value.store(value, std::memory_order_relaxed);
     nn->next.store(pack(null_idx, tag_of(nn->next.load(
@@ -70,7 +94,7 @@ class mpmc_queue {
                                         std::memory_order_acq_rel);
           size_.fetch_add(1, std::memory_order_release);
           pushes_.fetch_add(1, std::memory_order_relaxed);
-          return;
+          return true;
         }
       } else {
         // Tail lagging: help swing it forward, then retry.
@@ -128,6 +152,10 @@ class mpmc_queue {
   std::uint64_t pops() const noexcept {
     return pops_.load(std::memory_order_relaxed);
   }
+  // push() calls rejected because the node arena hit its MaxChunks cap.
+  std::uint64_t failed_pushes() const noexcept {
+    return failed_pushes_.load(std::memory_order_relaxed);
+  }
   // Nodes ever allocated (the arena's high-water mark; tests pin that a
   // bounded-inflight service stops growing it).
   std::size_t nodes_allocated() const noexcept {
@@ -138,10 +166,11 @@ class mpmc_queue {
   static constexpr std::uint32_t null_idx = 0xffffffffu;
   static constexpr std::size_t chunk_nodes = 256;
   // Chunk table capacity. Fixed so node_at readers index stable storage for
-  // the queue's whole lifetime (no reallocation to race with); 4096 chunks
-  // of 256 nodes bound the queue at ~1M simultaneously-linked nodes, far
-  // above any bounded-admission service's reachable depth.
-  static constexpr std::size_t max_chunks = 4096;
+  // the queue's whole lifetime (no reallocation to race with); the default
+  // 4096 chunks of 256 nodes bound the queue at ~1M simultaneously-linked
+  // nodes, far above any bounded-admission service's reachable depth. Tests
+  // shrink it to exercise the exhaustion reject cheaply.
+  static constexpr std::size_t max_chunks = MaxChunks;
 
   struct node {
     std::atomic<std::uint64_t> next{0};  // packed {index, tag}
@@ -175,6 +204,8 @@ class mpmc_queue {
     return chunk + (idx % chunk_nodes);
   }
 
+  // Returns a node index, or null_idx when the arena is at its cap and the
+  // free list is empty (push() turns that into a clean admission reject).
   std::uint32_t alloc_node() {
     // Fast path: tagged Treiber free list of recycled nodes.
     for (;;) {
@@ -197,7 +228,7 @@ class mpmc_queue {
     const std::size_t n = allocated_.load(std::memory_order_relaxed);
     if (n % chunk_nodes == 0) {
       const std::size_t slot = n / chunk_nodes;
-      if (slot == max_chunks) throw std::bad_alloc();
+      if (slot == max_chunks) return null_idx;  // at cap: clean reject
       chunks_[slot].store(new node[chunk_nodes], std::memory_order_release);
     }
     allocated_.store(n + 1, std::memory_order_release);
@@ -226,6 +257,7 @@ class mpmc_queue {
   alignas(64) std::atomic<std::size_t> size_{0};
   std::atomic<std::uint64_t> pushes_{0};
   std::atomic<std::uint64_t> pops_{0};
+  std::atomic<std::uint64_t> failed_pushes_{0};
   std::atomic<std::size_t> allocated_{0};
   std::mutex grow_mu_;
   // Fixed-capacity chunk table (see max_chunks): slots start null and are

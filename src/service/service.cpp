@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/epoch.hpp"
 #include "obs/trace.hpp"
 #include "util/backoff.hpp"
 
@@ -79,7 +80,24 @@ ticket dag_service::submit_body(vertex_body job) {
     t->svc = this;
     t->job = std::move(job);
     t->submit_tp = clock::now();
-    queue_.push(t);
+    if (!queue_.push(t)) {
+      // Queue node arena at its cap: surface a clean admission reject
+      // instead of the bad_alloc this used to throw. Unwind everything the
+      // reservation took — the ticket cell (still private to us, under the
+      // same gate that covered its allocation) and the inflight slot.
+      pool_delete(*ticket_pool_, t);
+      gate.unlock();
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      obs::gauge_add(obs::g_inflight, -1);
+      {
+        std::lock_guard<std::mutex> lk(admit_mu_);
+      }
+      admit_cv_.notify_one();
+      obs::emit(obs::ev_reject);
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
+      n_queue_full_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return ticket{};
+    }
   }
   {
     std::lock_guard<std::mutex> lk(dispatch_mu_);
@@ -211,13 +229,21 @@ void dag_service::release_ref(detail::ticket_state* t, bool via_gate) noexcept {
 }
 
 void dag_service::dispatcher_main() {
+  // The dispatcher follows the workers' epoch protocol (src/mem/epoch.hpp):
+  // pinned for its whole loop — it dereferences pooled memory through
+  // engine::make() and ticket handling — refreshed at the loop top (no
+  // stale pointer survives an iteration), unpinned across its cv waits so
+  // an idle dispatcher never stalls reclamation.
+  mem::epoch::pin_guard eg;
   for (;;) {
+    mem::epoch::refresh();
     if (detail::ticket_state* t = queue_.pop()) {
       if (stop_.load(std::memory_order_acquire) &&
           reject_pending_.load(std::memory_order_acquire)) {
         reject_queued(t);
       } else {
         dispatch(t);
+        maybe_busy_trim();
       }
       continue;
     }
@@ -231,8 +257,12 @@ void dag_service::dispatcher_main() {
       if (inflight_.load(std::memory_order_seq_cst) == 0 && queue_.empty()) {
         return;
       }
-      std::unique_lock<std::mutex> lk(dispatch_mu_);
-      dispatch_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      mem::epoch::unpin();
+      {
+        std::unique_lock<std::mutex> lk(dispatch_mu_);
+        dispatch_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      }
+      mem::epoch::pin();
       continue;
     }
     std::unique_lock<std::mutex> lk(dispatch_mu_);
@@ -240,7 +270,9 @@ void dag_service::dispatcher_main() {
     // notify we may have missed; re-check before sleeping.
     if (!queue_.empty() || stop_.load(std::memory_order_acquire)) continue;
     if (cfg_.idle_trim_after.count() > 0) {
+      mem::epoch::unpin();
       const auto status = dispatch_cv_.wait_for(lk, cfg_.idle_trim_after);
+      mem::epoch::pin();
       lk.unlock();
       if (status == std::cv_status::timeout &&
           !stop_.load(std::memory_order_acquire)) {
@@ -249,9 +281,26 @@ void dag_service::dispatcher_main() {
     } else {
       // Timed rather than indefinite: bounds the cost of any wakeup the
       // empty-critical-section handshake still loses.
+      mem::epoch::unpin();
       dispatch_cv_.wait_for(lk, std::chrono::milliseconds(50));
+      mem::epoch::pin();
     }
   }
+}
+
+void dag_service::maybe_busy_trim() {
+  // Dispatch-count cadence; dispatcher-only, so the counter needs no
+  // atomicity. Unlike the idle trim there is NO gate and NO quiescence
+  // check: trim_pools_live() is built for concurrent traffic — fully-free
+  // slabs go to epoch limbo and are freed only after the 2-epoch delay.
+  if (!mem::epoch::enabled() || cfg_.busy_trim_every == 0) return;
+  if (++dispatches_since_busy_trim_ < cfg_.busy_trim_every) return;
+  dispatches_since_busy_trim_ = 0;
+  std::size_t reclaimed = 0;
+  const std::size_t retired = rt_.engine().trim_pools_live(&reclaimed);
+  n_busy_trims_.fetch_add(1, std::memory_order_relaxed);
+  n_slabs_retired_.fetch_add(retired, std::memory_order_relaxed);
+  n_slabs_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
 }
 
 void dag_service::try_idle_trim() {
@@ -327,6 +376,11 @@ service_stats dag_service::stats() const {
   s.blocked = n_blocked_.load(std::memory_order_relaxed);
   s.idle_trims = n_idle_trims_.load(std::memory_order_relaxed);
   s.slabs_released = n_slabs_released_.load(std::memory_order_relaxed);
+  s.busy_trims = n_busy_trims_.load(std::memory_order_relaxed);
+  s.slabs_retired = n_slabs_retired_.load(std::memory_order_relaxed);
+  s.slabs_reclaimed = n_slabs_reclaimed_.load(std::memory_order_relaxed);
+  s.queue_full_rejects =
+      n_queue_full_rejects_.load(std::memory_order_relaxed);
   s.inflight = inflight_.load(std::memory_order_relaxed);
   s.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
   return s;

@@ -32,8 +32,17 @@
 //     quiescence, and calls dag_engine::try_trim_pools() — so slab memory
 //     retained by a burst drains back upstream between bursts instead of
 //     being held until destruction.
+//   * a BUSY trim: every busy_trim_every dispatches the dispatcher calls
+//     dag_engine::trim_pools_live(), which needs no quiescence window at
+//     all — it retires fully-free slabs into epoch limbo
+//     (src/mem/epoch.hpp) and frees them after the 2-epoch delay. A service
+//     under sustained traffic therefore returns burst memory while
+//     submissions are still in flight, instead of waiting for a quiet
+//     period the workload may never offer. No trim gate is involved: the
+//     epoch protocol, not exclusion, is what makes the trim safe.
 //
-// Trim safety. pool trim is only legal with no concurrent pool traffic.
+// Trim safety (quiescent path). Quiescent pool trim is only legal with no
+// concurrent pool traffic.
 // Pool traffic under a live service comes from exactly three places: worker
 // threads inside execute() (covered by live_vertices() != 0 while any body
 // runs), the dispatcher (it is the trimmer), and client threads allocating
@@ -90,6 +99,12 @@ struct service_config {
   // Quiet time before the dispatcher attempts an idle pool trim;
   // zero disables the idle timer entirely.
   std::chrono::milliseconds idle_trim_after{2};
+
+  // Dispatch-count cadence of the live (epoch-based) busy trim: every this
+  // many dispatches the dispatcher calls dag_engine::trim_pools_live().
+  // Zero disables it; it is also inert when the epoch subsystem is compiled
+  // out (-DSPDAG_EPOCH=OFF).
+  std::size_t busy_trim_every = 256;
 };
 
 // Monotone counters + gauges, readable at any time (fields may be a few
@@ -104,6 +119,13 @@ struct service_stats {
   std::uint64_t blocked = 0;         // submits that had to wait for a slot
   std::uint64_t idle_trims = 0;      // successful idle-timer pool trims
   std::uint64_t slabs_released = 0;  // slabs those trims returned upstream
+  std::uint64_t busy_trims = 0;      // live (epoch) trims run under traffic
+  std::uint64_t slabs_retired = 0;   // slabs busy trims parked in epoch limbo
+  std::uint64_t slabs_reclaimed = 0; // limbo slabs freed after the 2-epoch
+                                     // delay (by any reclaim sweep)
+  std::uint64_t queue_full_rejects = 0;  // submissions refused because the
+                                         // MPMC node arena hit its cap
+                                         // (counted inside `rejected` too)
   std::size_t inflight = 0;          // snapshot: admitted, not yet complete
   std::size_t peak_inflight = 0;
 };
@@ -221,6 +243,7 @@ class dag_service {
   void complete(detail::ticket_state* t);
   void dispatcher_main();
   void try_idle_trim();
+  void maybe_busy_trim();
   void release_ref(detail::ticket_state* t, bool via_gate) noexcept;
 
   service_config cfg_;
@@ -249,6 +272,8 @@ class dag_service {
   // can leave a residue — free cells in slabs pinned by live neighbors —
   // so "retained == 0" is not a reachable idle state). Dispatcher-private.
   std::uint64_t trimmed_retained_ = ~std::uint64_t{0};
+  // Dispatches since the last busy trim (dispatcher-private cadence).
+  std::size_t dispatches_since_busy_trim_ = 0;
 
   // Shutdown. stopping_ elects the mode-setter; stop_ is what admit() and
   // the dispatcher read (stored after reject_pending_, so a reader that
@@ -267,6 +292,10 @@ class dag_service {
   std::atomic<std::uint64_t> n_blocked_{0};
   std::atomic<std::uint64_t> n_idle_trims_{0};
   std::atomic<std::uint64_t> n_slabs_released_{0};
+  std::atomic<std::uint64_t> n_busy_trims_{0};
+  std::atomic<std::uint64_t> n_slabs_retired_{0};
+  std::atomic<std::uint64_t> n_slabs_reclaimed_{0};
+  std::atomic<std::uint64_t> n_queue_full_rejects_{0};
 
   latency_histogram queue_hist_;
   latency_histogram exec_hist_;

@@ -54,10 +54,17 @@ class alignas(cache_line_size) node {
   // (Re)initializes this node as a fresh zero-surplus member of `ctx`'s
   // tree. `parent == nullptr` means the parent is the tree root. No reader
   // synchronizes on these fields directly (handle transfer orders through
-  // children_/the engine); a stale reader racing a pooled pair's re-init
-  // observes the SAME values (a pair is always re-init'ed under the same
-  // parent/tree while any such reader can exist), so the fields are relaxed
-  // atomics to make that benign race exact.
+  // children_/the engine). A stale reader racing a pooled pair's re-init is
+  // safe on two levels, both stated once and relied on here:
+  //   * VALUES: a pair is always re-init'ed under the same parent/tree
+  //     while any such reader can exist, so the racing read observes the
+  //     SAME values — the fields are relaxed atomics to make that exact.
+  //   * STORAGE: the read targets a mapped cell because the epoch protocol
+  //     (src/mem/epoch.hpp) says so — the reader runs on a pinned worker,
+  //     and a pinned thread's reachable pool memory cannot be unmapped
+  //     until two epoch advances prove it has refreshed past the retire.
+  //     (This file used to assume "slabs are only freed at quiescence";
+  //     trim_live() retired that assumption, the pin replaces it.)
   void init(node* parent, child_pair* self_pair, tree_context* ctx) noexcept {
     cv_.store(pack(0, 0), std::memory_order_relaxed);
     children_.store(nullptr, std::memory_order_relaxed);
@@ -163,6 +170,13 @@ struct child_pair {
 };
 
 // --- recycling pool (tagged-pointer Treiber stack; tag defeats ABA) ---
+// The pop-side `next_free` read can race a concurrent pop/re-init of the
+// same pair: the tag CAS rejects the torn result, and the dereference
+// itself is of a live pool cell — pairs on this list are never returned to
+// the slab pool until the owning tree's (quiescent) destructor, so even a
+// live trim (trim_live + epoch limbo, src/mem/epoch.hpp) cannot unmap a
+// slab under them. The safety argument is the epoch protocol's, not a
+// bespoke one: live cells are ipso facto not retireable.
 void free_pair_push(tree_context& ctx, child_pair* pair) noexcept;
 child_pair* free_pair_pop(tree_context& ctx) noexcept;
 std::size_t free_pair_count(const tree_context& ctx) noexcept;

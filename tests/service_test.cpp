@@ -359,7 +359,7 @@ TEST(MpmcQueue, FifoSingleThread) {
   int values[3] = {1, 2, 3};
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.pop(), nullptr);
-  for (int& v : values) q.push(&v);
+  for (int& v : values) ASSERT_TRUE(q.push(&v));
   EXPECT_EQ(q.approx_size(), 3u);
   EXPECT_EQ(q.pop(), &values[0]);
   EXPECT_EQ(q.pop(), &values[1]);
@@ -372,7 +372,7 @@ TEST(MpmcQueue, NodeArenaStopsGrowingOnReuse) {
   mpmc_queue<int> q;
   int v = 7;
   for (int round = 0; round < 10000; ++round) {
-    q.push(&v);
+    ASSERT_TRUE(q.push(&v));
     ASSERT_EQ(q.pop(), &v);
   }
   // Steady-state push/pop recycles through the free list: the arena high
@@ -380,6 +380,25 @@ TEST(MpmcQueue, NodeArenaStopsGrowingOnReuse) {
   EXPECT_LE(q.nodes_allocated(), 8u);
   EXPECT_EQ(q.pushes(), 10000u);
   EXPECT_EQ(q.pops(), 10000u);
+}
+
+TEST(MpmcQueue, ExhaustedArenaRejectsCleanly) {
+  // One chunk = 256 nodes; one is the resident dummy, so exactly 255 values
+  // fit before the arena cap. The 256th push must reject — returning false
+  // and counting it — not throw, and must leave the queue fully usable.
+  mpmc_queue<int, 1> q;
+  int v = 7;
+  std::size_t accepted = 0;
+  while (q.push(&v)) ++accepted;
+  EXPECT_EQ(accepted, 255u);
+  EXPECT_EQ(q.failed_pushes(), 1u);
+  EXPECT_EQ(q.pushes(), 255u);
+  // Rejection is non-destructive: drain, then the freed nodes recycle.
+  for (std::size_t i = 0; i < accepted; ++i) ASSERT_EQ(q.pop(), &v);
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_TRUE(q.push(&v));
+  EXPECT_EQ(q.pop(), &v);
+  EXPECT_EQ(q.nodes_allocated(), 256u);  // never grew past the cap
 }
 
 TEST(MpmcQueue, ConcurrentProducersConsumersLoseNothing) {
@@ -398,7 +417,8 @@ TEST(MpmcQueue, ConcurrentProducersConsumersLoseNothing) {
   for (int p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        q.push(&payload[static_cast<std::size_t>(p * kPerProducer + i)]);
+        ASSERT_TRUE(
+            q.push(&payload[static_cast<std::size_t>(p * kPerProducer + i)]));
       }
     });
   }
