@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/bench_runner.hpp"
@@ -26,7 +27,11 @@ int main(int argc, char** argv) {
   harness::json_open(opts, "fig14_granularity");  // run_config adds records
 
   const std::vector<std::uint64_t> work_ns{1, 10, 100, 1000, 10000};
-  const std::vector<std::string> algos{"faa", "snzi:9", "dyn"};
+  // (algo, batch): the fan-out goes through the shared parallel_for builder
+  // either way — "dyn+batch" swaps in the blocked spawn_batch variant, so
+  // the row directly shows what amortizing increments buys at each grain.
+  const std::vector<std::pair<std::string, bool>> algos{
+      {"faa", false}, {"snzi:9", false}, {"dyn", false}, {"dyn", true}};
 
   std::printf("# fig14: granularity study, fanin n=%llu at proc=%zu "
               "(paper: n=8M, 40 cores; speedup vs Fetch & Add)\n",
@@ -36,7 +41,7 @@ int main(int argc, char** argv) {
                       "speedup_vs_faa"});
   for (std::uint64_t w : work_ns) {
     double faa_time = 0;
-    for (const auto& algo : algos) {
+    for (const auto& [algo, batch] : algos) {
       harness::bench_config cfg;
       cfg.workload = "fanin";
       cfg.algo = algo;
@@ -44,12 +49,14 @@ int main(int argc, char** argv) {
       cfg.n = common.n;
       cfg.work_ns = w;
       cfg.repetitions = common.runs;
+      cfg.batch = batch;
       const harness::bench_result r = harness::run_config(cfg);
-      if (algo == "faa") faa_time = r.mean_s;
+      if (algo == "faa" && !batch) faa_time = r.mean_s;
       const double speedup = (r.mean_s > 0 && faa_time > 0)
                                  ? faa_time / r.mean_s
                                  : 0.0;
-      table.add_row({std::to_string(w), algo, result_table::num(r.mean_s, 4),
+      const std::string label = batch ? algo + "+batch" : algo;
+      table.add_row({std::to_string(w), label, result_table::num(r.mean_s, 4),
                      result_table::num(r.ops_per_s_per_core, 0),
                      result_table::num(speedup, 2)});
     }

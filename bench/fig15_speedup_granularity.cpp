@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/bench_runner.hpp"
@@ -25,7 +26,10 @@ int main(int argc, char** argv) {
   harness::json_open(opts, "fig15_speedup_granularity");  // via run_config
 
   const std::vector<std::uint64_t> work_levels{1, 10, 100, 1000, 10000};
-  const std::vector<std::string> algos{"faa", "snzi:9", "dyn"};
+  // (algo, batch): "dyn+batch" routes the same shared parallel_for builder
+  // through spawn_batch (see fig14).
+  const std::vector<std::pair<std::string, bool>> algos{
+      {"faa", false}, {"snzi:9", false}, {"dyn", false}, {"dyn", true}};
   const std::vector<std::size_t> procs =
       harness::worker_sweep(common.max_proc, /*points=*/6);
 
@@ -48,14 +52,16 @@ int main(int argc, char** argv) {
                 "(speedup vs Fetch & Add @ 1 core)\n",
                 static_cast<unsigned long long>(w));
     result_table table({"algo", "procs", "mean_s", "speedup"});
-    for (const auto& algo : algos) {
+    for (const auto& [algo, batch] : algos) {
       for (std::size_t p : procs) {
         harness::bench_config cfg = base;
         cfg.algo = algo;
         cfg.workers = p;
+        cfg.batch = batch;
         const harness::bench_result r = harness::run_config(cfg);
         const double speedup = r.mean_s > 0 ? base_time / r.mean_s : 0;
-        table.add_row({algo, std::to_string(p), result_table::num(r.mean_s, 4),
+        const std::string label = batch ? algo + "+batch" : algo;
+        table.add_row({label, std::to_string(p), result_table::num(r.mean_s, 4),
                        result_table::num(speedup, 2)});
       }
     }

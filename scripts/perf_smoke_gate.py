@@ -32,6 +32,15 @@ dispatch loop, so a nonzero count proves reclamation under live traffic).
 This is a correctness gate, not a throughput gate — service rates depend on
 the offered arrival schedule, so absolute numbers are not pinned.
 
+With --apps, additionally sanity-gates the application-tier benches
+(BENCH_apps.json, the merged bfs / wavefront_lcs / stream_pipeline
+document). Every record must conserve vertices (completed == spawned,
+both > 0) and report a finite positive p99 and rate; the amortization
+claim is gated directly on the ledger: batch records (extra.batch == 1)
+must report counter_ops_per_edge strictly < 1.0, unbatched records must
+sit at exactly 1.0 (small tolerance for float serialization) — unbatched
+execution pays one inc + one dec per edge by construction.
+
 Exit codes: 0 pass, 1 perf regression, 2 malformed/unusable input.
 
 Usage: perf_smoke_gate.py BENCH_future_churn.json [--min-ratio 0.9]
@@ -40,6 +49,7 @@ Usage: perf_smoke_gate.py BENCH_future_churn.json [--min-ratio 0.9]
            [--epoch-compare BENCH_future_churn_noepoch.json]
            [--max-epoch-overhead 0.03]
            [--service BENCH_service_traffic.json]
+           [--apps BENCH_apps.json]
 """
 
 import argparse
@@ -165,6 +175,62 @@ def service_gate(path):
     return ok
 
 
+def apps_gate(path):
+    """True when every application-tier record is sane (see module doc)."""
+    doc = load(path)
+    checked = 0
+    batch_records = 0
+    ok = True
+    for rec in doc["records"]:
+        name = rec.get("name", "")
+        extra = rec.get("extra", {})
+        if "counter_ops_per_edge" not in extra:
+            continue
+        checked += 1
+        completed = extra.get("completed", 0)
+        spawned = extra.get("spawned", 0)
+        ratio = extra.get("counter_ops_per_edge", 0)
+        batch = extra.get("batch", 0) > 0
+        p99 = rec.get("lat_p99_ms", 0)
+        rate = rec.get("ops_per_s", 0)
+        problems = []
+        if completed <= 0:
+            problems.append("completed == 0")
+        if completed != spawned:
+            problems.append(
+                f"conservation: completed {completed:.0f} != spawned "
+                f"{spawned:.0f}")
+        if batch:
+            batch_records += 1
+            if not (math.isfinite(ratio) and 0 < ratio < 1.0):
+                problems.append(
+                    f"batch run did not amortize: counter_ops_per_edge "
+                    f"{ratio} (need strictly < 1.0)")
+        else:
+            # One inc + one dec per edge, exactly; tolerance only for float
+            # round-trip through JSON.
+            if not (math.isfinite(ratio) and abs(ratio - 1.0) < 1e-9):
+                problems.append(
+                    f"unbatched counter_ops_per_edge {ratio} != 1.0")
+        if not (math.isfinite(p99) and p99 > 0):
+            problems.append(f"p99 not finite/positive: {p99}")
+        if not (math.isfinite(rate) and rate > 0):
+            problems.append(f"ops_per_s not finite/positive: {rate}")
+        verdict = "ok" if not problems else "FAIL: " + "; ".join(problems)
+        print(f"  {name}: {completed:,.0f} vertices @ {rate:,.0f}/s, "
+              f"ops/edge {ratio:.4f}, p99 {p99:.3f}ms [{verdict}]")
+        if problems:
+            ok = False
+    if checked == 0:
+        print(f"perf_smoke_gate: no app records in {path}", file=sys.stderr)
+        sys.exit(2)
+    if batch_records == 0:
+        print(f"perf_smoke_gate: no batch app records in {path} — the "
+              f"amortization claim went unexercised", file=sys.stderr)
+        sys.exit(2)
+    return ok
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("json_path")
@@ -188,6 +254,10 @@ def main():
     ap.add_argument("--service", metavar="SERVICE_JSON", default=None,
                     help="service_traffic document; sanity-gates the "
                          "dag_service records (conservation + finite p99)")
+    ap.add_argument("--apps", metavar="APPS_JSON", default=None,
+                    help="merged application-tier document; gates vertex "
+                         "conservation and counter_ops_per_edge < 1.0 on "
+                         "batch configs")
     args = ap.parse_args()
 
     doc = load(args.json_path)
@@ -227,6 +297,12 @@ def main():
         print("perf_smoke_gate: no comparable pool/malloc record pairs found",
               file=sys.stderr)
         sys.exit(2)
+    if args.apps is not None:
+        if not apps_gate(args.apps):
+            print("perf_smoke_gate: FAIL - application-tier records violated "
+                  "conservation or the batch amortization claim",
+                  file=sys.stderr)
+            sys.exit(1)
     if args.service is not None:
         if not service_gate(args.service):
             print("perf_smoke_gate: FAIL - dag_service traffic records "

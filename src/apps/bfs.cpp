@@ -1,0 +1,115 @@
+#include "apps/bfs.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "dag/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace spdag::apps {
+
+bfs_graph make_bfs_graph(std::uint64_t vertices, std::uint64_t avg_degree,
+                         std::uint64_t seed) {
+  xoshiro256 rng(seed);
+  bfs_graph g;
+  g.offsets.resize(vertices + 1);
+  // Degrees first (uniform in [0, 2*avg]), then one prefix sum, then fill.
+  std::vector<std::uint32_t> degree(vertices);
+  for (std::uint64_t u = 0; u < vertices; ++u) {
+    degree[u] = static_cast<std::uint32_t>(rng.below(2 * avg_degree + 1));
+  }
+  // Seed connectivity: vertex 0 fans out to a spread of anchors so the
+  // traversal from 0 covers a large component in few levels.
+  std::uint64_t stride = 1;
+  while (stride * stride < vertices) ++stride;
+  // ceil: the anchor loop below visits a = 0, stride, 2*stride, ...
+  const std::uint32_t anchors =
+      static_cast<std::uint32_t>((vertices + stride - 1) / stride);
+  degree[0] += anchors;
+  g.offsets[0] = 0;
+  for (std::uint64_t u = 0; u < vertices; ++u) {
+    g.offsets[u + 1] = g.offsets[u] + degree[u];
+  }
+  g.targets.resize(g.offsets[vertices]);
+  std::uint32_t* out = g.targets.data();
+  for (std::uint64_t a = 0; a < vertices; a += stride) {
+    *out++ = static_cast<std::uint32_t>(a);
+  }
+  for (std::uint64_t u = 0; u < vertices; ++u) {
+    const std::uint32_t deg = degree[u] - (u == 0 ? anchors : 0);
+    for (std::uint32_t e = 0; e < deg; ++e) {
+      *out++ = static_cast<std::uint32_t>(rng.below(vertices));
+    }
+  }
+  return g;
+}
+
+namespace {
+
+// Shared per-level state, captured by pointer (vertex bodies carry a
+// 64-byte inline budget).
+struct level_ctx {
+  const bfs_graph* g;
+  std::atomic<std::int32_t>* dist;
+  const std::uint32_t* frontier;
+  std::int32_t next_level;
+};
+
+}  // namespace
+
+std::vector<std::int32_t> bfs_run(runtime& rt, const bfs_graph& g,
+                                  const bfs_config& cfg) {
+  const std::uint64_t n = g.vertex_count();
+  std::unique_ptr<std::atomic<std::int32_t>[]> dist(
+      new std::atomic<std::int32_t>[n]);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    dist[v].store(-1, std::memory_order_relaxed);
+  }
+  dist[0].store(0, std::memory_order_relaxed);
+
+  std::vector<std::uint32_t> frontier{0};
+  std::int32_t level = 0;
+  const std::size_t grain = cfg.grain == 0 ? 1 : cfg.grain;
+  while (!frontier.empty()) {
+    level_ctx ctx{&g, dist.get(), frontier.data(), level + 1};
+    const level_ctx* c = &ctx;
+    const std::size_t fsize = frontier.size();
+    const bool batch = cfg.batch;
+    rt.run([c, fsize, grain, batch] {
+      // Chunks only claim (CAS -1 -> next_level); the next frontier is
+      // re-derived below, so no chunk-local buffers and no ordering races.
+      auto body = [c](std::size_t i) {
+        const std::uint32_t u = c->frontier[i];
+        const std::uint32_t lo = c->g->offsets[u];
+        const std::uint32_t hi = c->g->offsets[u + 1];
+        for (std::uint32_t e = lo; e < hi; ++e) {
+          const std::uint32_t v = c->g->targets[e];
+          std::int32_t expect = -1;
+          c->dist[v].compare_exchange_strong(expect, c->next_level,
+                                             std::memory_order_relaxed);
+        }
+      };
+      if (batch) {
+        parallel_for_blocked(0, fsize, grain, body);
+      } else {
+        parallel_for(0, fsize, grain, body);
+      }
+    });
+    ++level;
+    // Ordered rescan: deterministic next frontier whatever the CAS winners.
+    frontier.clear();
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (dist[v].load(std::memory_order_relaxed) == level) {
+        frontier.push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+  }
+
+  std::vector<std::int32_t> out(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    out[v] = dist[v].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace spdag::apps

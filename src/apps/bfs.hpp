@@ -1,0 +1,51 @@
+#pragma once
+// apps/bfs: frontier-synchronous breadth-first search on the sp-dag — the
+// first application-tier workload (vs the primitive-shaped microbenches in
+// src/harness/). Each BFS level is one finish block: the frontier is chunked
+// through the shared parallel_for builders, every chunk claims neighbors
+// with a CAS on the distance slot, and the next frontier is the set of
+// vertices claimed at the new level.
+//
+// Determinism: level-synchronous BFS assigns every vertex its true BFS
+// distance regardless of which chunk's CAS wins a claim race, and the next
+// frontier is re-derived by an ordered scan — so the returned distance
+// vector is byte-identical across schedulers, allocators, out-sets, and
+// batch on/off (the golden-output property apps_golden_test pins).
+//
+// `batch` routes the per-level fan-out through parallel_for_blocked (one
+// batched in-counter increment per 32 chunks) instead of the fork2 splitter
+// (one increment per spawn) — the amortization counter_ops_per_edge
+// measures.
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/runtime.hpp"
+
+namespace spdag::apps {
+
+// Synthetic graph in CSR form, deterministic in (vertices, avg_degree,
+// seed). Vertex 0 gets an edge to every k*sqrt(n)-th vertex on top of the
+// random targets so the BFS from 0 reaches a large component quickly.
+struct bfs_graph {
+  std::vector<std::uint32_t> offsets;  // size vertices + 1
+  std::vector<std::uint32_t> targets;  // size offsets.back()
+
+  std::uint64_t vertex_count() const noexcept { return offsets.size() - 1; }
+  std::uint64_t edge_count() const noexcept { return targets.size(); }
+};
+
+bfs_graph make_bfs_graph(std::uint64_t vertices, std::uint64_t avg_degree,
+                         std::uint64_t seed);
+
+struct bfs_config {
+  std::size_t grain = 64;  // frontier vertices per serial chunk
+  bool batch = true;       // blocked (batched) vs fork2 per-level fan-out
+};
+
+// Runs BFS from vertex 0 to completion on rt (one rt.run per level) and
+// returns the distance vector (-1 = unreachable).
+std::vector<std::int32_t> bfs_run(runtime& rt, const bfs_graph& g,
+                                  const bfs_config& cfg = {});
+
+}  // namespace spdag::apps

@@ -1,0 +1,40 @@
+#pragma once
+// apps/stream_pipeline: a continuous-arrival stage pipeline stressing the
+// out-set broadcast side. `items` independent work items stream through
+// `stages` future-valued stages; at every stage the produced value is
+// broadcast to `width` consumers (the fan-out hotspot out-sets exist for),
+// one of which carries the item into the next stage.
+//
+// `batch` selects HOW the consumers register: future_then_group (one
+// spawn_batch covering all `width` consumers + grouped add_group out-set
+// registration) versus a fork2 tree of single future_then calls — the
+// batched and unbatched fan-out paths the amortization claim compares.
+//
+// Determinism: each stage's value is a pure function of (item, stage), and
+// the checksum folds per-delivery hashes with a commutative sum — so the
+// checksum (and the delivery count) is identical across schedulers,
+// allocators, out-sets, and batch on/off.
+
+#include <cstdint>
+
+#include "sched/runtime.hpp"
+
+namespace spdag::apps {
+
+struct stream_config {
+  std::uint64_t items = 256;  // independent pipelines
+  std::uint32_t stages = 4;   // futures per item
+  std::uint32_t width = 8;    // consumers per stage broadcast
+  std::uint64_t seed = 7;     // folded into every stage value
+  bool batch = true;          // future_then_group vs single future_thens
+};
+
+struct stream_result {
+  std::uint64_t checksum = 0;    // commutative fold over all deliveries
+  std::uint64_t deliveries = 0;  // must equal items * stages * width
+};
+
+// Runs the pipeline to completion on rt and returns the fold + count.
+stream_result stream_run(runtime& rt, const stream_config& cfg = {});
+
+}  // namespace spdag::apps

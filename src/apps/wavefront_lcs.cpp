@@ -1,0 +1,114 @@
+#include "apps/wavefront_lcs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dag/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace spdag::apps {
+
+std::string random_dna(std::size_t len, std::uint64_t seed) {
+  static const char alphabet[] = "ACGT";
+  xoshiro256 rng(seed);
+  std::string s(len, 'A');
+  for (auto& c : s) c = alphabet[rng.below(4)];
+  return s;
+}
+
+std::uint32_t lcs_serial(const std::string& a, const std::string& b) {
+  std::vector<std::vector<std::uint32_t>> dp(
+      a.size() + 1, std::vector<std::uint32_t>(b.size() + 1, 0));
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      dp[i][j] = (a[i - 1] == b[j - 1]) ? dp[i - 1][j - 1] + 1
+                                        : std::max(dp[i - 1][j], dp[i][j - 1]);
+    }
+  }
+  return dp[a.size()][b.size()];
+}
+
+namespace {
+
+// Grid state captured by pointer into vertex bodies (64-byte inline budget);
+// lives on lcs_run's stack, which outlives the rt.run below.
+struct lcs_grid {
+  const std::string* a;
+  const std::string* b;
+  std::size_t block;
+  std::size_t nb;   // blocks per side
+  std::size_t dim;  // dp row length (len + 1)
+  std::uint32_t* dp;
+  bool batch;
+
+  std::uint32_t& cell(std::size_t i, std::size_t j) const {
+    return dp[i * dim + j];
+  }
+
+  // Fills block (bi, bj) serially; its predecessors on earlier diagonals
+  // are complete by the time the diagonal containing it starts.
+  void compute_block(std::size_t bi, std::size_t bj) const {
+    const std::size_t i_lo = bi * block + 1;
+    const std::size_t i_hi = std::min(i_lo + block, a->size() + 1);
+    const std::size_t j_lo = bj * block + 1;
+    const std::size_t j_hi = std::min(j_lo + block, b->size() + 1);
+    for (std::size_t i = i_lo; i < i_hi; ++i) {
+      for (std::size_t j = j_lo; j < j_hi; ++j) {
+        cell(i, j) = ((*a)[i - 1] == (*b)[j - 1])
+                         ? cell(i - 1, j - 1) + 1
+                         : std::max(cell(i - 1, j), cell(i, j - 1));
+      }
+    }
+  }
+
+  // Runs diagonal d as one finish block, then continues with d+1 — the
+  // wavefront is a finish_then chain, one link per diagonal. Must be the
+  // last dag action of the calling vertex body.
+  void process_diag(std::size_t d) const {
+    if (d >= 2 * nb - 1) return;
+    const lcs_grid* g = this;
+    finish_then(
+        [g, d] {
+          const std::size_t bi_lo = d < g->nb ? 0 : d - g->nb + 1;
+          const std::size_t bi_hi = std::min(d, g->nb - 1);
+          const std::size_t count = bi_hi - bi_lo + 1;
+          auto body = [g, d, bi_lo](std::size_t k) {
+            const std::size_t bi = bi_lo + k;
+            g->compute_block(bi, d - bi);
+          };
+          if (g->batch) {
+            parallel_for_blocked(0, count, 1, body);
+          } else {
+            parallel_for(0, count, 1, body);
+          }
+        },
+        [g, d] { g->process_diag(d + 1); });
+  }
+};
+
+}  // namespace
+
+lcs_result lcs_run(runtime& rt, const lcs_config& cfg) {
+  const std::string a = random_dna(cfg.len, cfg.seed);
+  const std::string b = random_dna(cfg.len, cfg.seed + 1);
+  const std::size_t block = cfg.block == 0 ? 1 : cfg.block;
+  const std::size_t nb = (cfg.len + block - 1) / block;
+  const std::size_t dim = cfg.len + 1;
+  std::vector<std::uint32_t> dp(dim * dim, 0);
+
+  lcs_grid grid{&a, &b, block, nb, dim, dp.data(), cfg.batch};
+  const lcs_grid* g = &grid;
+  rt.run([g] { g->process_diag(0); });
+
+  lcs_result r;
+  r.length = dp[cfg.len * dim + cfg.len];
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over every cell
+  for (const std::uint32_t c : dp) {
+    h = (h ^ c) * 1099511628211ull;
+  }
+  r.cells_checksum = h;
+  r.blocks = nb * nb;
+  return r;
+}
+
+}  // namespace spdag::apps

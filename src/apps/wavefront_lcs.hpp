@@ -1,0 +1,44 @@
+#pragma once
+// apps/wavefront_lcs: anti-diagonal wavefront dynamic programming (longest
+// common subsequence), promoted from examples/wavefront_lcs.cpp into a
+// parameterized library workload.
+//
+// The blocked dp grid is swept one anti-diagonal at a time: every block on
+// diagonal d depends only on blocks of diagonals d-1 and d-2, so one finish
+// block per diagonal (sequenced by a finish_then chain) makes each diagonal
+// a parallel_for over its blocks — through the blocked (batched) builder or
+// the fork2 splitter, selected by `batch`. The dp recurrence is a pure
+// function of the inputs, so every cell value (and therefore the checksum)
+// is byte-identical across schedulers, allocators, out-sets, and batch
+// on/off — the golden-output property apps_golden_test pins.
+
+#include <cstdint>
+#include <string>
+
+#include "sched/runtime.hpp"
+
+namespace spdag::apps {
+
+struct lcs_config {
+  std::size_t len = 2048;   // both input strings are `len` chars
+  std::size_t block = 128;  // dp block edge (one task per block)
+  std::uint64_t seed = 1;   // input strings are random_dna(seed), (seed+1)
+  bool batch = true;        // blocked (batched) vs fork2 per-diagonal fan-out
+};
+
+struct lcs_result {
+  std::uint32_t length = 0;           // LCS length (dp corner)
+  std::uint64_t cells_checksum = 0;   // FNV-1a over every dp cell, row-major
+  std::uint64_t blocks = 0;           // tasks executed (one per dp block)
+};
+
+// Deterministic input generator shared with the reference implementation.
+std::string random_dna(std::size_t len, std::uint64_t seed);
+
+// Serial reference for cross-checking the parallel result.
+std::uint32_t lcs_serial(const std::string& a, const std::string& b);
+
+// Runs the wavefront to completion on rt and returns length + checksum.
+lcs_result lcs_run(runtime& rt, const lcs_config& cfg = {});
+
+}  // namespace spdag::apps

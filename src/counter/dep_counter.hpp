@@ -34,6 +34,24 @@ class dep_counter {
   // implementations which side of the parent the spawning vertex is.
   virtual arrive_result arrive(token inc_hint, bool from_left) = 0;
 
+  // Batched increment: exactly-once equivalent to k consecutive arrives from
+  // the same handle (k >= 1), but paying one counter operation. The returned
+  // result's `dec` token supports k independent depart() calls (the surplus
+  // lands on a single placement), and the two increment handles are SHARED
+  // by however many vertices the batch creates — callers that reclaim
+  // handles (abandon) must therefore skip reclamation for batch-shared
+  // handles; the dag layer tracks this with vertex::shared_inc.
+  //
+  // The default loops k single arrives and returns the LAST result, which is
+  // exactly-once correct only for implementations whose depart ignores the
+  // token; every token-placing implementation in this repo overrides it with
+  // a genuinely single-operation batch.
+  virtual arrive_result add(token inc_hint, bool from_left, std::uint32_t k) {
+    arrive_result r{0, 0, 0};
+    for (std::uint32_t i = 0; i < k; ++i) r = arrive(inc_hint, from_left);
+    return r;
+  }
+
   // One decrement with a token from a prior arrive (or root_token for the
   // initial obligation). Returns true iff the counter reached zero.
   virtual bool depart(token dec) = 0;

@@ -24,6 +24,14 @@ class faa_counter final : public dep_counter {
     return {0, 0, 0};
   }
 
+  arrive_result add(token /*inc_hint*/, bool /*from_left*/,
+                    std::uint32_t k) override {
+    assert(k >= 1 && "a batched increment covers at least one unit");
+    count_.value.fetch_add(static_cast<std::int64_t>(k),
+                           std::memory_order_seq_cst);
+    return {0, 0, 0};
+  }
+
   bool depart(token /*dec*/) override {
     const std::int64_t prev = count_.value.fetch_sub(1, std::memory_order_seq_cst);
     assert(prev >= 1 && "depart on a zero fetch-and-add counter");

@@ -31,6 +31,15 @@ class fixed_snzi_counter final : public dep_counter {
     return {reinterpret_cast<token>(leaf), 0, 0};
   }
 
+  arrive_result add(token /*inc_hint*/, bool /*from_left*/,
+                    std::uint32_t k) override {
+    assert(k >= 1 && "a batched increment covers at least one unit");
+    // All k units land on one hashed leaf in one batched SNZI arrive; the
+    // returned token then supports the k matching departs on that leaf.
+    snzi::node* leaf = tree_.arrive(thread_rng()(), k);
+    return {reinterpret_cast<token>(leaf), 0, 0};
+  }
+
   bool depart(token dec) override {
     auto* leaf = reinterpret_cast<snzi::node*>(dec);
     assert(leaf != nullptr && "fixed SNZI depart requires the arrive's token");

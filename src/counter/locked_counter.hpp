@@ -23,6 +23,14 @@ class locked_counter final : public dep_counter {
     return {0, 0, 0};
   }
 
+  arrive_result add(token /*inc_hint*/, bool /*from_left*/,
+                    std::uint32_t k) override {
+    assert(k >= 1 && "a batched increment covers at least one unit");
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += k;
+    return {0, 0, 0};
+  }
+
   bool depart(token /*dec*/) override {
     std::lock_guard<std::mutex> lock(mu_);
     assert(count_ >= 1 && "depart on a zero reference counter");

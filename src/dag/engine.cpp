@@ -138,9 +138,10 @@ void dag_engine::recycle(vertex* v) {
   pool_delete(*vertex_pool_, v);
 }
 
-dec_pair* dag_engine::alloc_pair(token t0, token t1, std::uint32_t owners) {
+dec_pair* dag_engine::alloc_pair(token t0, token t1, std::uint32_t owners,
+                                 bool grouped) {
   dec_pair* p = pool_new<dec_pair>(*pair_pool_);
-  p->reset(t0, t1, owners);
+  p->reset(t0, t1, owners, grouped);
   stats_.pairs_created.fetch_add(1, std::memory_order_relaxed);
   return p;
 }
@@ -162,9 +163,11 @@ token dag_engine::claim_dec(vertex* u) {
   // the parent's inherited handle into the new pair, and signal()/the
   // execute() epilogue claim at depart time — execute() deliberately claims
   // BEFORE recycling v (the handle lives in v->dpair) and departs after.
-  // The ablation policy lets the first claimer pick a random slot instead.
+  // The ablation policy lets the first claimer pick a random slot instead —
+  // never on a grouped (spawn_batch) pair, whose t[1] is a multi-unit batch
+  // token: all owners-1 later claimers must land on it (see dec_pair).
   const std::int8_t want =
-      options_.randomize_claim_order
+      (options_.randomize_claim_order && !p->grouped)
           ? static_cast<std::int8_t>(thread_rng()() & 1)
           : std::int8_t{0};
   std::int8_t first = -1;
@@ -185,11 +188,18 @@ vertex* dag_engine::new_vertex(vertex* fin, token inc, dec_pair* dpair,
                                std::uint32_t n, bool is_left) {
   vertex* v = alloc_vertex();
   v->counter = factory_.acquire(n);
+  if (n > 0) {
+    // An initial surplus is one increment operation covering n edges (the
+    // obligations the new counter starts with) — see engine_stats::edges.
+    stats_.counter_incs.fetch_add(1, std::memory_order_relaxed);
+    stats_.edges.fetch_add(n, std::memory_order_relaxed);
+  }
   v->fin = fin;
   v->inc = inc;
   v->dpair = dpair;
   v->is_left = is_left;
   v->dead = false;
+  v->shared_inc = false;
   return v;
 }
 
@@ -198,10 +208,13 @@ std::pair<vertex*, vertex*> dag_engine::make() {
   // its own — executing it ends the computation.
   vertex* final_v = alloc_vertex();
   final_v->counter = factory_.acquire(1);
+  stats_.counter_incs.fetch_add(1, std::memory_order_relaxed);
+  stats_.edges.fetch_add(1, std::memory_order_relaxed);
   final_v->fin = nullptr;
   final_v->inc = 0;
   final_v->dpair = nullptr;
   final_v->dead = false;
+  final_v->shared_inc = false;
 
   const token h = final_v->counter->root_token();
   dec_pair* p = uses_tokens_ ? alloc_pair(h, h, 1) : nullptr;
@@ -214,9 +227,11 @@ std::pair<vertex*, vertex*> dag_engine::chain(vertex* u) {
   assert(!u->dead && "chain on a dead vertex");
   // w inherits u's obligation toward u.fin and waits for v's subtree.
   vertex* w = new_vertex(u->fin, u->inc, u->dpair, 1, u->is_left);
+  w->shared_inc = u->shared_inc;  // same handle token, same sharing status
   u->dpair = nullptr;  // transferred
   const token h = w->counter->root_token();
   dec_pair* vp = uses_tokens_ ? alloc_pair(h, h, 1) : nullptr;
+  // v's handle is w's fresh counter's root — unique by construction.
   vertex* v = new_vertex(w, h, vp, 0, /*is_left=*/true);
   u->dead = true;
   return {v, w};
@@ -231,6 +246,8 @@ std::pair<vertex*, vertex*> dag_engine::spawn(vertex* u) {
   // One increment for two new vertices: one of them stands for u's
   // continuation, whose obligation u already holds.
   const arrive_result r = fin->counter->arrive(u->inc, u->is_left);
+  stats_.counter_incs.fetch_add(1, std::memory_order_relaxed);
+  stats_.edges.fetch_add(1, std::memory_order_relaxed);
   dec_pair* np = nullptr;
   if (uses_tokens_) {
     // Claim AFTER the arrive completed (the paper's key invariant: the
@@ -243,8 +260,54 @@ std::pair<vertex*, vertex*> dag_engine::spawn(vertex* u) {
   }
   vertex* v = new_vertex(fin, r.inc_left, np, 0, /*is_left=*/true);
   vertex* w = new_vertex(fin, r.inc_right, np, 0, /*is_left=*/false);
+  // If u's handle was shared, another sharer growing the same hint may hold
+  // the very same children — the new handles are shared too.
+  v->shared_inc = u->shared_inc;
+  w->shared_inc = u->shared_inc;
   u->dead = true;
   return {v, w};
+}
+
+void dag_engine::spawn_batch_vertices(vertex* u, std::uint32_t k,
+                                      vertex** out) {
+  assert(k >= 1 && "spawn_batch creates at least one vertex");
+  assert(!u->dead && "spawn_batch on a dead vertex");
+  vertex* fin = u->fin;
+  assert(fin != nullptr && "spawn_batch requires a finish vertex");
+  stats_.spawns.fetch_add(1, std::memory_order_relaxed);
+  obs::emit(obs::ev_spawn);
+  if (k == 1) {
+    // Degenerate batch: hand u's obligation to the single child, no new
+    // increment at all (the counter never hears about this).
+    out[0] = new_vertex(fin, u->inc, u->dpair, 0, u->is_left);
+    out[0]->shared_inc = u->shared_inc;
+    u->dpair = nullptr;
+    u->dead = true;
+    return;
+  }
+  // ONE batched increment covers the k-1 new edges (u's continuation
+  // obligation accounts for the k-th); this is the amortization the batch
+  // API exists for — counter_ops_per_edge drops below 1.
+  const arrive_result r = fin->counter->add(u->inc, u->is_left, k - 1);
+  stats_.counter_incs.fetch_add(1, std::memory_order_relaxed);
+  stats_.edges.fetch_add(k - 1, std::memory_order_relaxed);
+  dec_pair* np = nullptr;
+  if (uses_tokens_) {
+    // Same shape as spawn(): claim u's inherited (higher) handle only after
+    // the batched arrive pinned the counter nonzero; r.dec carries the k-1
+    // surplus units. The grouped pair makes the first claimer take t[0] and
+    // every later claimer depart t[1] exactly once.
+    const token d1 = claim_dec(u);
+    np = alloc_pair(d1, r.dec, /*owners=*/k, /*grouped=*/true);
+  }
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const bool left = (i % 2) == 0;
+    vertex* v = new_vertex(fin, left ? r.inc_left : r.inc_right, np, 0, left);
+    // All k children share the one arrive's two child handles.
+    v->shared_inc = true;
+    out[i] = v;
+  }
+  u->dead = true;
 }
 
 void dag_engine::signal(vertex* u) {
@@ -252,6 +315,7 @@ void dag_engine::signal(vertex* u) {
   vertex* fin = u->fin;
   assert(fin != nullptr && "signal requires a finish vertex");
   const token d = uses_tokens_ ? claim_dec(u) : 0;
+  stats_.counter_decs.fetch_add(1, std::memory_order_relaxed);
   if (fin->counter->depart(d)) {
     exec_.enqueue(fin);
   }
@@ -279,13 +343,17 @@ void dag_engine::execute(vertex* v) {
   vertex* fin = v->fin;
   const token d = (should_signal && uses_tokens_) ? claim_dec(v) : 0;
   const token abandoned_inc = should_signal ? v->inc : 0;
+  const bool shared = v->shared_inc;
   recycle(v);
   if (should_signal) {
     stats_.signals.fetch_add(1, std::memory_order_relaxed);
+    stats_.counter_decs.fetch_add(1, std::memory_order_relaxed);
     // This vertex never spawned, so its increment handle is dead; let the
     // counter reclaim the handle's node (appendix B) before the depart that
-    // may hand `fin` to another worker.
-    if (uses_tokens_) fin->counter->abandon(abandoned_inc);
+    // may hand `fin` to another worker. Never for a SHARED handle: a sibling
+    // of the batch may still use it, and two sharers retiring the same node
+    // would double-count its pair's retire (see vertex::shared_inc).
+    if (uses_tokens_ && !shared) fin->counter->abandon(abandoned_inc);
     if (fin->counter->depart(d)) {
       exec_.enqueue(fin);
     }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "dag/vertex.hpp"
 #include "incounter/factory.hpp"
@@ -53,11 +54,23 @@ struct engine_stats {
   std::atomic<std::uint64_t> pairs_recycled{0};
   std::atomic<std::uint64_t> executions{0};
   std::atomic<std::uint64_t> drains_enqueued{0};
+  // Amortization ledger. `edges` counts dependency edges (surplus units ever
+  // posted on finish counters: initial obligations, spawn arrives, and the
+  // k-1 units of each batched spawn). `counter_incs` counts increment
+  // OPERATIONS (one per arrive/add/initial-surplus acquire) and
+  // `counter_decs` depart operations (always one per edge). Unbatched
+  // execution therefore measures (incs + decs) / (2 * edges) == 1.0 exactly;
+  // every spawn_batch(k) adds one inc op for k-1 edges, pushing the ratio
+  // strictly below 1 — the `counter_ops_per_edge` metric the application
+  // benches report and CI gates.
+  std::atomic<std::uint64_t> edges{0};
+  std::atomic<std::uint64_t> counter_incs{0};
+  std::atomic<std::uint64_t> counter_decs{0};
 
   void reset() noexcept {
     for (auto* p : {&vertices_created, &vertices_recycled, &spawns, &chains,
                     &signals, &pairs_created, &pairs_recycled, &executions,
-                    &drains_enqueued}) {
+                    &drains_enqueued, &edges, &counter_incs, &counter_decs}) {
       p->store(0, std::memory_order_relaxed);
     }
   }
@@ -112,6 +125,34 @@ class dag_engine {
   // incrementing the finish counter once (one of the children stands for
   // u's continuation). Must be the last dag operation u performs.
   std::pair<vertex*, vertex*> spawn(vertex* u);
+
+  // Batched parallel composition: creates k vertices under u's finish with
+  // ONE counter operation covering all of them (u's transferred obligation
+  // plus a k-1-unit batched increment), fills out[0..k) WITHOUT bodies and
+  // without scheduling them. The children share the batch's increment
+  // handles (vertex::shared_inc) and one k-owner decrement group. Must be
+  // the last dag operation u performs; the caller assigns bodies and add()s
+  // every child. k == 1 degenerates to handing u's obligation to one child.
+  void spawn_batch_vertices(vertex* u, std::uint32_t k, vertex** out);
+
+  // Convenience wrapper: spawn_batch_vertices + bodies from gen(i) + add().
+  // gen is invoked synchronously for i in [0, k); each returned closure is
+  // moved into child i's body before ANY child is scheduled (a scheduled
+  // sibling may run, signal, and finish while later bodies are still being
+  // assigned — assignment must therefore never touch an added vertex).
+  template <typename Gen>
+  void spawn_batch(vertex* u, std::uint32_t k, Gen&& gen) {
+    vertex* local[32];
+    std::vector<vertex*> heap;
+    vertex** vs = local;
+    if (k > 32) {
+      heap.resize(k);
+      vs = heap.data();
+    }
+    spawn_batch_vertices(u, k, vs);
+    for (std::uint32_t i = 0; i < k; ++i) vs[i]->body = gen(i);
+    for (std::uint32_t i = 0; i < k; ++i) add(vs[i]);
+  }
 
   // Signals completion of u: decrements u.fin's counter; when that reaches
   // zero, u.fin is handed to the executor. Called by execute() for vertices
@@ -203,7 +244,8 @@ class dag_engine {
  private:
   vertex* alloc_vertex();
   void recycle(vertex* v);
-  dec_pair* alloc_pair(token t0, token t1, std::uint32_t owners);
+  dec_pair* alloc_pair(token t0, token t1, std::uint32_t owners,
+                       bool grouped = false);
   void release_pair_ref(dec_pair* p);
   token claim_dec(vertex* u);
 

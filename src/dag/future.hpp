@@ -114,6 +114,37 @@ class future_state {
     }
   }
 
+  // Grouped registration: registers n consumers with ONE out-set operation
+  // per 32-wide chunk (add_group splices a pre-linked waiter chain with a
+  // single CAS on structured out-sets) — the fan-out dual of spawn_batch's
+  // one batched increment. Any suffix the out-set rejects (the producer
+  // finalized first; the value is published) is scheduled directly here,
+  // exactly once per consumer.
+  void register_waiter_group(vertex* const* consumers, std::uint32_t n,
+                             dag_engine* engine) {
+    assert(engine != nullptr && "registration requires an engine");
+    std::uint32_t i = 0;
+    if (!ready()) {
+      while (i < n) {
+        const std::uint32_t m = (n - i) < 32u ? (n - i) : 32u;
+        outset_waiter* ws[32];
+        for (std::uint32_t j = 0; j < m; ++j) {
+          ws[j] = outsets_->acquire_waiter(consumers[i + j], engine);
+        }
+        for (std::uint32_t j = 0; j + 1 < m; ++j) {
+          ws[j]->next.store(ws[j + 1], std::memory_order_relaxed);
+        }
+        const std::uint32_t captured = waiters_->add_group(ws[0], ws[m - 1], m);
+        for (std::uint32_t j = captured; j < m; ++j) {
+          outsets_->release_waiter(ws[j]);
+        }
+        i += captured;
+        if (captured < m) break;  // finalized: deliver the rest below
+      }
+    }
+    for (; i < n; ++i) engine->add(consumers[i]);
+  }
+
   // --- intrusive reference count (managed by future<T>) ---
   void add_ref() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
   // True when the caller dropped the last reference and must destroy.
@@ -239,6 +270,10 @@ class future {
   void register_waiter(vertex* consumer, dag_engine* engine) const {
     state_->register_waiter(consumer, engine);
   }
+  void register_waiter_group(vertex* const* consumers, std::uint32_t n,
+                             dag_engine* engine) const {
+    state_->register_waiter_group(consumers, n, engine);
+  }
 
  private:
   static constexpr std::size_t state_bytes = sizeof(detail::future_state<T>);
@@ -286,6 +321,34 @@ void future_then(future<T> fut, F fn) {
   // The spawn's second vertex has no work; it just resolves its obligation.
   eng->add(filler);
   fut.register_waiter(consumer, eng);
+}
+
+// Batched future_then: schedules gen(i)(value) for i in [0, k) as k fresh
+// vertices under the current finish, all gated on the one future — ONE
+// batched counter increment (spawn_batch_vertices; no filler vertex needed,
+// the current vertex's obligation covers the k-th child) and one grouped
+// out-set registration per 32 consumers. Must be the last dag action of the
+// current body. gen runs synchronously for each i and returns the closure
+// that will receive the completed value.
+template <typename T, typename Gen>
+void future_then_group(future<T> fut, std::uint32_t k, Gen gen) {
+  assert(k >= 1 && "future_then_group needs at least one consumer");
+  dag_engine* eng = dag_engine::current_engine();
+  vertex* u = dag_engine::current_vertex();
+  vertex* local[32];
+  std::vector<vertex*> heap;
+  vertex** vs = local;
+  if (k > 32) {
+    heap.resize(k);
+    vs = heap.data();
+  }
+  eng->spawn_batch_vertices(u, k, vs);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    vs[i]->body = [fut, fn = gen(i)]() mutable { fn(fut.get()); };
+  }
+  // Deferred scheduling: the consumers are NOT add()ed here — delivery (or
+  // the already-ready bypass) inside the grouped registration schedules them.
+  fut.register_waiter_group(vs, k, eng);
 }
 
 }  // namespace spdag

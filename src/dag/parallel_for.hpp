@@ -13,7 +13,9 @@
 // not by code after the call). For sequencing, pass the continuation to
 // finish_then:   finish_then([..]{ parallel_for(...); }, continuation).
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 
 #include "dag/engine.hpp"
@@ -43,6 +45,62 @@ struct pfor_range {
   }
 };
 
+// Widest batch one vertex issues: bounds the gen loop a single body runs
+// and keeps spawn_batch on its stack-local vertex array.
+inline constexpr std::size_t pfor_batch_width = 32;
+
+// Blocked range task: instead of halving recursively (one counter operation
+// per split), it cuts the range into up to `pfor_batch_width` pieces with ONE
+// batched increment. Ranges wider than width * grain first batch out
+// super-blocks, each of which recurses — so a k-chunk loop costs
+// O(k / width) counter operations instead of k - 1.
+template <typename F>
+struct pfor_blocked {
+  std::size_t lo;
+  std::size_t hi;
+  std::size_t grain;
+  F f;
+
+  void operator()() {
+    const std::size_t n = hi - lo;
+    const std::size_t chunks = (n + grain - 1) / grain;
+    if (chunks <= 1) {
+      for (std::size_t i = lo; i < hi; ++i) f(i);
+      return;
+    }
+    dag_engine* eng = dag_engine::current_engine();
+    vertex* u = dag_engine::current_vertex();
+    // Capture fields by value: spawn_batch kills this vertex, and the body
+    // that holds `this` dies with it.
+    const std::size_t a0 = lo;
+    const std::size_t b0 = hi;
+    const std::size_t g = grain;
+    if (chunks <= pfor_batch_width) {
+      eng->spawn_batch(
+          u, static_cast<std::uint32_t>(chunks),
+          [a0, b0, g, this](std::uint32_t i) {
+            const std::size_t a = a0 + static_cast<std::size_t>(i) * g;
+            const std::size_t b = std::min(b0, a + g);
+            F fn = f;  // gen runs before *this dies (spawn_batch is sync)
+            return [a, b, fn]() mutable {
+              for (std::size_t j = a; j < b; ++j) fn(j);
+            };
+          });
+      return;
+    }
+    // Super-blocks: each covers `per` iterations and recurses.
+    const std::size_t per =
+        ((chunks + pfor_batch_width - 1) / pfor_batch_width) * g;
+    const std::size_t nsup = (n + per - 1) / per;
+    eng->spawn_batch(u, static_cast<std::uint32_t>(nsup),
+                     [a0, b0, g, per, this](std::uint32_t i) {
+                       const std::size_t a = a0 + static_cast<std::size_t>(i) * per;
+                       const std::size_t b = std::min(b0, a + per);
+                       return pfor_blocked<F>{a, b, g, f};
+                     });
+  }
+};
+
 }  // namespace detail
 
 // Applies f(i) for every i in [lo, hi), in parallel, with serial chunks of
@@ -56,6 +114,20 @@ template <typename F>
 void parallel_for(std::size_t lo, std::size_t hi, std::size_t grain, F f) {
   if (lo >= hi) return;
   detail::pfor_range<F>{lo, hi, grain == 0 ? 1 : grain, std::move(f)}();
+}
+
+// Batched variant of parallel_for: same contract (last dag action, serial
+// chunks of at most `grain`, grain > 1 forbids dag operations inside f), but
+// the fan-out uses spawn_batch so a loop of k chunks costs O(k / 32) counter
+// increments instead of k - 1 — the amortization `counter_ops_per_edge`
+// measures. The chunk vertices share increment handles (vertex::shared_inc),
+// which is safe because every unclaimed chunk pins the batch's SNZI node
+// positive until the whole group has departed.
+template <typename F>
+void parallel_for_blocked(std::size_t lo, std::size_t hi, std::size_t grain,
+                          F f) {
+  if (lo >= hi) return;
+  detail::pfor_blocked<F>{lo, hi, grain == 0 ? 1 : grain, std::move(f)}();
 }
 
 }  // namespace spdag

@@ -18,22 +18,34 @@
 
 namespace spdag {
 
-// Decrement-handle pair shared by the two vertices a spawn creates.
+// Decrement-handle pair shared by the vertices a spawn creates.
 // `owners` counts vertices that may still claim from this pair; the claimer
 // that drops it to zero returns the pair to its slab pool.
+//
+// A spawn_batch of k children reuses the same structure as a GROUP: t[0] is
+// still the single inherited (higher) handle, but t[1] is the batch token
+// whose placement carries k-1 surplus units — the first claimer takes t[0]
+// and every later claimer departs t[1] once. That only counts correctly when
+// the first claimer deterministically takes slot 0, so grouped pairs pin the
+// ordered claim policy even under the claim-order ablation (`grouped`).
 struct dec_pair {
   token t[2] = {0, 0};
   // Slot taken by the first claimer, -1 while unclaimed. The default policy
   // always claims slot 0 (the higher handle); the claim-order ablation
-  // randomizes the first claimer's choice.
+  // randomizes the first claimer's choice (never for grouped pairs).
   std::atomic<std::int8_t> first_slot{-1};
   std::atomic<std::uint32_t> owners{0};
+  // True for spawn_batch groups: t[1] is a multi-unit batch token and the
+  // claim order MUST stay [t[0] first, then owners-1 departs of t[1]].
+  bool grouped = false;
 
-  void reset(token t0, token t1, std::uint32_t owner_count) noexcept {
+  void reset(token t0, token t1, std::uint32_t owner_count,
+             bool grouped_claims = false) noexcept {
     t[0] = t0;
     t[1] = t1;
     first_slot.store(-1, std::memory_order_relaxed);
     owners.store(owner_count, std::memory_order_relaxed);
+    grouped = grouped_claims;
   }
 };
 
@@ -67,6 +79,16 @@ class vertex {
   // Set by chain/spawn: the vertex transferred its obligation and must not
   // signal when its body returns.
   bool dead = false;
+
+  // True when `inc` is SHARED with other vertices (spawn_batch hands one
+  // arrive's handles to all k children; Lemma 4.3's handle uniqueness no
+  // longer holds for them or their spawn/chain descendants on the same
+  // handle). Shared handles must never be abandon()ed — two sharers retiring
+  // the same never-used node would double-count its pair's retire and
+  // recycle it under live handles. Propagates through chain (same token) and
+  // spawn (the grown children may collide with a sharer's grow of the same
+  // hint); a fresh finish counter's root handle resets it to false.
+  bool shared_inc = false;
 };
 
 }  // namespace spdag

@@ -22,7 +22,7 @@ bench_result run_config(const bench_config& cfg) {
   runtime rt(rt_cfg);
   auto once = [&] {
     if (cfg.workload == "fanin") {
-      fanin(rt, cfg.n, cfg.work_ns);
+      fanin(rt, cfg.n, cfg.work_ns, cfg.batch);
     } else if (cfg.workload == "indegree2") {
       indegree2(rt, cfg.n, cfg.work_ns);
     } else if (cfg.workload == "fib") {
@@ -78,6 +78,7 @@ bench_result run_config(const bench_config& cfg) {
     rec.name += cfg.alloc;
     rec.name += "/proc:";
     rec.name += std::to_string(cfg.workers);
+    if (cfg.batch) rec.name += "/batch";
     rec.spec = cfg.algo;
     rec.proc = cfg.workers;
     rec.runs = cfg.repetitions;
@@ -91,6 +92,20 @@ bench_result run_config(const bench_config& cfg) {
     rec.extra.emplace_back("rsd", res.rsd);
     rec.extra.emplace_back("measured_slab_growths",
                            static_cast<double>(res.measured_slab_growths));
+    // Amortization ledger over the whole config (warm-up included; the
+    // ratio is scale-free): == 1.0 on unbatched runs, < 1.0 whenever
+    // spawn_batch covered several edges with one increment.
+    const engine_stats& es = rt.engine().stats();
+    const double edges =
+        static_cast<double>(es.edges.load(std::memory_order_relaxed));
+    const double cops = static_cast<double>(
+        es.counter_incs.load(std::memory_order_relaxed) +
+        es.counter_decs.load(std::memory_order_relaxed));
+    rec.extra.emplace_back("edges", edges);
+    rec.extra.emplace_back("counter_ops", cops);
+    rec.extra.emplace_back("counter_ops_per_edge",
+                           edges > 0 ? cops / (2.0 * edges) : 0.0);
+    rec.extra.emplace_back("batch", cfg.batch ? 1.0 : 0.0);
     json_add(std::move(rec));
   }
   return res;
@@ -130,6 +145,7 @@ void print_broadcast_stats(std::ostream& os, const outset_totals& outsets,
      << " retries=" << outsets.add_cas_retries
      << " rejected=" << outsets.rejected_adds
      << " subtrees_offloaded=" << outsets.subtrees_offloaded
+     << " group_adds=" << outsets.group_adds
      << " drains_executed=" << sched.drains_executed
      << " drains_stolen=" << sched.drains_stolen
      << " drains_handed_off=" << sched.drains_handed_off << "\n";
@@ -288,7 +304,8 @@ void emit_record(std::ostream& os, const json_record& r) {
      << ",\"add_cas_retries\":" << r.outsets.add_cas_retries
      << ",\"rejected_adds\":" << r.outsets.rejected_adds
      << ",\"delivered\":" << r.outsets.delivered
-     << ",\"subtrees_offloaded\":" << r.outsets.subtrees_offloaded << "}";
+     << ",\"subtrees_offloaded\":" << r.outsets.subtrees_offloaded
+     << ",\"group_adds\":" << r.outsets.group_adds << "}";
   os << ",\"scheduler_totals\":{\"executions\":" << r.sched_totals.executions
      << ",\"steals\":" << r.sched_totals.steals
      << ",\"failed_steal_sweeps\":" << r.sched_totals.failed_steal_sweeps

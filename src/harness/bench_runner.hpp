@@ -28,6 +28,9 @@ struct bench_config {
   std::uint64_t work_ns = 0;       // per-leaf dummy work
   int repetitions = 3;
   std::string alloc = "pool";      // alloc spec (see make_pool_registry)
+  // fanin only: build the fan-out with the blocked spawn_batch builder
+  // (one batched increment per 32 children) instead of the fork2 splitter.
+  bool batch = false;
 };
 
 struct bench_result {

@@ -4,20 +4,12 @@
 #include <chrono>
 
 #include "dag/future.hpp"
+#include "dag/parallel_for.hpp"
 #include "util/dummy_work.hpp"
 
 namespace spdag::harness {
 
 namespace {
-
-void fanin_rec(std::uint64_t n, std::uint64_t work_ns) {
-  if (n >= 2) {
-    fork2([n, work_ns] { fanin_rec(n / 2, work_ns); },
-          [n, work_ns] { fanin_rec(n - n / 2, work_ns); });
-  } else if (work_ns != 0) {
-    spin_ns(work_ns);
-  }
-}
 
 void indegree2_rec(std::uint64_t n, std::uint64_t work_ns) {
   if (n >= 2) {
@@ -153,9 +145,25 @@ void fib_rec(unsigned n, std::uint64_t* dest) {
 
 }  // namespace
 
-void fanin(runtime& rt, std::uint64_t n, std::uint64_t work_ns) {
+void fanin(runtime& rt, std::uint64_t n, std::uint64_t work_ns, bool batch) {
   if (work_ns != 0) spin_units_per_ns();  // calibrate outside the timed region
-  rt.run([n, work_ns] { finish_then([n, work_ns] { fanin_rec(n, work_ns); }, [] {}); });
+  // The fan-out IS parallel_for with grain 1 (n leaves under one finish) —
+  // the former private fanin_rec splitter duplicated pfor_range verbatim,
+  // so the benches now exercise the same builder the apps use.
+  rt.run([n, work_ns, batch] {
+    finish_then(
+        [n, work_ns, batch] {
+          auto leaf = [work_ns](std::size_t) {
+            if (work_ns != 0) spin_ns(work_ns);
+          };
+          if (batch) {
+            parallel_for_blocked(0, static_cast<std::size_t>(n), 1, leaf);
+          } else {
+            parallel_for(0, static_cast<std::size_t>(n), 1, leaf);
+          }
+        },
+        [] {});
+  });
 }
 
 void indegree2(runtime& rt, std::uint64_t n, std::uint64_t work_ns) {

@@ -18,8 +18,14 @@
 
 namespace spdag::harness {
 
-// Runs one fanin computation of n leaves to completion on rt.
-void fanin(runtime& rt, std::uint64_t n, std::uint64_t work_ns = 0);
+// Runs one fanin computation of n leaves to completion on rt. The fan-out
+// is built by the shared parallel_for machinery (one code path with the
+// benches and apps): `batch` false uses the fork2 splitter (one counter
+// increment per spawn), true the blocked spawn_batch builder (one batched
+// increment per 32 children — the amortized path counter_ops_per_edge
+// measures).
+void fanin(runtime& rt, std::uint64_t n, std::uint64_t work_ns = 0,
+           bool batch = false);
 
 // Runs one indegree-2 computation of n leaves to completion on rt.
 void indegree2(runtime& rt, std::uint64_t n, std::uint64_t work_ns = 0);

@@ -53,6 +53,21 @@ class incounter final : public dep_counter {
             reinterpret_cast<token>(b)};
   }
 
+  arrive_result add(token inc_hint, bool from_left, std::uint32_t k) override {
+    assert(k >= 1 && "a batched increment covers at least one unit");
+    auto* h = reinterpret_cast<snzi::node*>(inc_hint);
+    assert(h != nullptr && "in-counter increments require an increment handle");
+    // One grow, one batched SNZI arrive: the k units land on the handle's
+    // child on the caller's side, and the returned token supports the k
+    // matching departs there. The two child handles are shared by every
+    // vertex of the batch (see dep_counter::add on the abandon caveat).
+    auto [a, b] = h->grow();
+    snzi::node* d2 = from_left ? a : b;
+    d2->arrive(k);
+    return {reinterpret_cast<token>(d2), reinterpret_cast<token>(a),
+            reinterpret_cast<token>(b)};
+  }
+
   bool depart(token dec) override {
     auto* d = reinterpret_cast<snzi::node*>(dec);
     assert(d != nullptr && "in-counter decrements require a decrement handle");

@@ -77,13 +77,17 @@ class outset_drain_task {
 
 // Aggregate view of one out-set's relaxed instrumentation counters.
 struct outset_totals {
-  std::uint64_t adds = 0;             // successful captures
+  std::uint64_t adds = 0;             // successful captures (per waiter)
   std::uint64_t add_cas_retries = 0;  // failed head CASes across all adds
   std::uint64_t rejected_adds = 0;    // adds that lost to finalize
   std::uint64_t delivered = 0;        // waiters handed to a finalize sink
   // Subtree-drain tasks handed to a finalize spawner (0 when finalize ran
   // serially or the structure never grew).
   std::uint64_t subtrees_offloaded = 0;
+  // Grouped registrations that captured their whole chain with one CAS
+  // (add_group on a structured implementation); each also counts its n
+  // waiters under `adds`.
+  std::uint64_t group_adds = 0;
 
   outset_totals& operator+=(const outset_totals& o) noexcept {
     adds += o.adds;
@@ -91,6 +95,7 @@ struct outset_totals {
     rejected_adds += o.rejected_adds;
     delivered += o.delivered;
     subtrees_offloaded += o.subtrees_offloaded;
+    group_adds += o.group_adds;
     return *this;
   }
 };
@@ -111,6 +116,29 @@ class outset {
 
   // See file comment. Thread-safe against concurrent add and one finalize.
   virtual bool add(outset_waiter* w) noexcept = 0;
+
+  // Grouped registration: captures a pre-linked chain of n waiters
+  // (head -> ... -> tail via `next`, in that order) and returns how many it
+  // captured — always a PREFIX of the chain in order, so the caller delivers
+  // waiters [captured, n) itself. Same thread-safety as add. The base
+  // default degrades to n singles (stopping at the first rejection);
+  // structured implementations override with one-CAS all-or-nothing capture
+  // (returning n or 0) — the fan-out dual of incounter::add's one batched
+  // arrive for k edges.
+  virtual std::uint32_t add_group(outset_waiter* head, outset_waiter* tail,
+                                  std::uint32_t n) noexcept {
+    (void)tail;
+    std::uint32_t captured = 0;
+    outset_waiter* w = head;
+    while (captured < n && w != nullptr) {
+      // Save the chain link BEFORE re-adding: add() rewrites w->next.
+      outset_waiter* next = w->next.load(std::memory_order_relaxed);
+      if (!add(w)) break;
+      ++captured;
+      w = next;
+    }
+    return captured;
+  }
 
   // See file comment. Must be called at most once per reset-generation, by
   // one thread; concurrent adds are safe.
@@ -140,6 +168,7 @@ class outset {
     t.rejected_adds = rejected_adds_.load(std::memory_order_relaxed);
     t.delivered = delivered_.load(std::memory_order_relaxed);
     t.subtrees_offloaded = subtrees_offloaded_.load(std::memory_order_relaxed);
+    t.group_adds = group_adds_.load(std::memory_order_relaxed);
     return t;
   }
 
@@ -152,12 +181,17 @@ class outset {
     return reinterpret_cast<outset_waiter*>(std::uintptr_t{1});
   }
 
-  void count_add() noexcept { adds_.fetch_add(1, std::memory_order_relaxed); }
+  void count_add(std::uint32_t n = 1) noexcept {
+    adds_.fetch_add(n, std::memory_order_relaxed);
+  }
   void count_retry() noexcept {
     add_cas_retries_.fetch_add(1, std::memory_order_relaxed);
   }
-  void count_rejected() noexcept {
-    rejected_adds_.fetch_add(1, std::memory_order_relaxed);
+  void count_rejected(std::uint32_t n = 1) noexcept {
+    rejected_adds_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_group_add() noexcept {
+    group_adds_.fetch_add(1, std::memory_order_relaxed);
   }
   void count_delivered() noexcept {
     delivered_.fetch_add(1, std::memory_order_relaxed);
@@ -194,6 +228,7 @@ class outset {
   std::atomic<std::uint64_t> rejected_adds_{0};
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> subtrees_offloaded_{0};
+  std::atomic<std::uint64_t> group_adds_{0};
 };
 
 }  // namespace spdag

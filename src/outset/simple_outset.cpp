@@ -20,6 +20,29 @@ bool simple_outset::add(outset_waiter* w) noexcept {
   }
 }
 
+std::uint32_t simple_outset::add_group(outset_waiter* head,
+                                       outset_waiter* tail,
+                                       std::uint32_t n) noexcept {
+  outset_waiter* old = head_.load(std::memory_order_acquire);
+  for (;;) {
+    if (old == terminated_waiter()) {
+      // Finalized: the whole group bounces and the caller delivers it.
+      count_rejected(n);
+      return 0;
+    }
+    // Splice the pre-linked chain in front of the current list: one CAS
+    // registers all n waiters (vs n CASes — the add-side amortization).
+    tail->next.store(old, std::memory_order_relaxed);
+    if (head_.compare_exchange_weak(old, head, std::memory_order_release,
+                                    std::memory_order_acquire)) {
+      count_add(n);
+      count_group_add();
+      return n;
+    }
+    count_retry();
+  }
+}
+
 void simple_outset::finalize(waiter_sink sink, void* ctx) {
   // One exchange atomically captures every waiter that won its add-CAS and
   // terminates the out-set: adds that lose from here on see the sentinel.

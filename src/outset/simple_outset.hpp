@@ -16,6 +16,10 @@ namespace spdag {
 class simple_outset final : public outset {
  public:
   bool add(outset_waiter* w) noexcept override;
+  // All-or-nothing: the whole pre-linked chain lands with ONE head CAS
+  // (returns n), or the sentinel rejects it whole (returns 0).
+  std::uint32_t add_group(outset_waiter* head, outset_waiter* tail,
+                          std::uint32_t n) noexcept override;
   void finalize(waiter_sink sink, void* ctx) override;
   void reset(waiter_sink sink, void* ctx) override;
 

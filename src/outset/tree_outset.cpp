@@ -116,6 +116,52 @@ bool tree_outset::add(outset_waiter* w) noexcept {
   }
 }
 
+std::uint32_t tree_outset::add_group(outset_waiter* head, outset_waiter* tail,
+                                     std::uint32_t n) noexcept {
+  // Same walk as add() — scatter dive, CAS, grow-on-contention descent —
+  // except the winning CAS splices the whole chain onto one node's list.
+  tree_node* nd = &base_;
+  std::uint32_t depth = 0;
+  while (depth < cfg_.scatter_depth && depth < cfg_.max_depth) {
+    tree_node* kids = nd->children.load(std::memory_order_acquire);
+    if (kids == nullptr) kids = grow(nd);
+    if (kids == terminated_children()) break;
+    nd = kids + thread_rng().below(cfg_.fanout);
+    ++depth;
+  }
+  for (;;) {
+    outset_waiter* h = nd->head.load(std::memory_order_acquire);
+    for (;;) {
+      if (h == terminated_waiter()) {
+        count_rejected(n);
+        return 0;
+      }
+      tail->next.store(h, std::memory_order_relaxed);
+      if (nd->head.compare_exchange_weak(h, head, std::memory_order_release,
+                                         std::memory_order_acquire)) {
+        count_add(n);
+        count_group_add();
+        return n;
+      }
+      count_retry();
+      if (depth < cfg_.max_depth &&
+          (cfg_.grow_threshold == 1 ||
+           (cfg_.grow_threshold != 0 &&
+            thread_rng().below(cfg_.grow_threshold) == 0))) {
+        break;
+      }
+    }
+    tree_node* kids = nd->children.load(std::memory_order_acquire);
+    if (kids == nullptr) kids = grow(nd);
+    if (kids == terminated_children()) {
+      count_rejected(n);
+      return 0;
+    }
+    nd = kids + thread_rng().below(cfg_.fanout);
+    ++depth;
+  }
+}
+
 tree_outset::tree_node* tree_outset::grow(tree_node* n) noexcept {
   // One pool cell per group: fanout fresh node lines. The slab pool keeps
   // growth on the registration critical path away from malloc (per-worker

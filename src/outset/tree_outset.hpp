@@ -115,6 +115,11 @@ class tree_outset final : public outset {
   ~tree_outset() override;
 
   bool add(outset_waiter* w) noexcept override;
+  // All-or-nothing: runs the same grow/descend walk as add, but the CAS that
+  // wins lands the whole pre-linked chain on one node (returns n); losing to
+  // a finalize sentinel rejects the group whole (returns 0).
+  std::uint32_t add_group(outset_waiter* head, outset_waiter* tail,
+                          std::uint32_t n) noexcept override;
   void finalize(waiter_sink sink, void* ctx) override;
   void finalize(waiter_sink sink, void* ctx, drain_spawner spawn,
                 void* spawn_ctx) override;

@@ -33,9 +33,13 @@ class fixed_tree {
   }
 
   // Arrive at the hashed leaf; the returned node must be passed to depart().
-  node* arrive(std::uint64_t key) noexcept {
+  node* arrive(std::uint64_t key) noexcept { return arrive(key, 1); }
+
+  // Batched arrive: posts n surplus units on one hashed leaf in one
+  // operation. The returned leaf supports n independent depart() calls.
+  node* arrive(std::uint64_t key, std::uint32_t n) noexcept {
     node* leaf = leaf_for(key);
-    leaf->arrive();
+    leaf->arrive(n);
     return leaf;
   }
 

@@ -56,49 +56,68 @@ std::size_t free_pair_count(const tree_context& ctx) noexcept {
   return n;
 }
 
-int node::arrive() noexcept {
+int node::arrive(std::uint32_t n) noexcept {
+  assert(n >= 1 && "arrive posts at least one surplus unit");
   visit();
   tree_context* ctx = context();
   stat_add(ctx->stats, &tree_stats::arrives);
   int hops = 1;
   int undo = 0;
-  bool succ = false;
-  while (!succ) {
+  // Units still to post at this node. The single-unit protocol (n == 1) is
+  // the original SNZI arrive; the batched generalization posts all remaining
+  // units in one CAS whenever it owns the transition (the h >= 2 fast path,
+  // or the 1/2 -> n commit when we installed the intermediate state). The
+  // only way a batch is split is a helper committing our 1/2 -> 1 first —
+  // that accounts exactly one of our units, so we shrink `remaining` and
+  // continue; the helper's parent arrival then stands in for ours (undo).
+  std::uint32_t remaining = n;
+  while (remaining > 0) {
     std::uint64_t x = cv_.load(std::memory_order_acquire);
     const std::uint32_t h = half_of(x);
     const std::uint32_t v = ver_of(x);
     if (h >= 2) {
       // Surplus already positive: a plain increment, no propagation.
-      if (cv_.compare_exchange_strong(x, pack(h + 2, v), std::memory_order_seq_cst,
+      if (cv_.compare_exchange_strong(x, pack(h + 2 * remaining, v),
+                                      std::memory_order_seq_cst,
                                       std::memory_order_acquire)) {
-        succ = true;
+        remaining = 0;
       } else {
         stat_add(ctx->stats, &tree_stats::cas_failures);
       }
       continue;
     }
+    bool installer = false;
     if (h == 0) {
-      // Begin a 0 -> 1 transition by installing the intermediate 1/2 state.
+      // Begin a 0 -> positive transition by installing the intermediate 1/2.
       if (!cv_.compare_exchange_strong(x, pack(1, v + 1), std::memory_order_seq_cst,
                                        std::memory_order_acquire)) {
         stat_add(ctx->stats, &tree_stats::cas_failures);
         continue;
       }
-      succ = true;
+      installer = true;
       x = pack(1, v + 1);
     }
-    // Here half_of(x) == 1: either we installed 1/2 just now (succ == true)
-    // or we read another thread's in-flight transition (succ == false).
-    // Either way, make sure the parent has heard about this node's surplus
-    // before committing 1/2 -> 1 (SNZI invariant 1).
+    // Here half_of(x) == 1: either we installed 1/2 just now (installer) or
+    // we read another thread's in-flight transition (helper). Either way,
+    // make sure the parent has heard about this node's surplus before
+    // committing 1/2 -> positive (SNZI invariant 1). The installer commits
+    // ALL its remaining units at once; a helper commits the installer's
+    // single unit exactly as in the original protocol, then loops to post
+    // its own units on the now-positive word.
     hops += arrive_parent();
     std::uint64_t expect = x;
-    if (!cv_.compare_exchange_strong(expect, pack(2, ver_of(x)),
-                                     std::memory_order_seq_cst,
-                                     std::memory_order_acquire)) {
+    const std::uint32_t target = installer ? 2 * remaining : 2;
+    if (cv_.compare_exchange_strong(expect, pack(target, ver_of(x)),
+                                    std::memory_order_seq_cst,
+                                    std::memory_order_acquire)) {
+      if (installer) remaining = 0;
+    } else {
       // Someone else committed (or the state moved on): our parent arrival
-      // is superfluous and must be undone after we finish.
+      // is superfluous and must be undone after we finish. When we were the
+      // installer, the helper's commit made the surplus exactly 1 — one of
+      // our units is accounted; the rest go through the h >= 2 path.
       ++undo;
+      if (installer) --remaining;
     }
   }
   while (undo-- > 0) {

@@ -74,10 +74,15 @@ class alignas(cache_line_size) node {
     ops_.store(0, std::memory_order_relaxed);
   }
 
-  // SNZI arrive: adds one surplus at this node, propagating a phase change
-  // to the parent. Returns the number of nodes visited including the root
-  // (>= 1); with grow probability 1 the paper proves this is <= 3 amortized.
-  int arrive() noexcept;
+  // SNZI arrive: adds `n` surplus units at this node (n >= 1), propagating a
+  // phase change to the parent. Returns the number of nodes visited including
+  // the root (>= 1); with grow probability 1 the paper proves this is <= 3
+  // amortized for n == 1. A batched arrive is exactly-once equivalent to n
+  // singles — the surplus lands in at most two CASes on the common path (one
+  // 0 -> 1/2 install plus one commit of all n units) — and the resulting
+  // surplus supports n independent depart() calls on this node.
+  int arrive(std::uint32_t n) noexcept;
+  int arrive() noexcept { return arrive(1); }
 
   // SNZI depart: removes one surplus. Requires surplus >= 1 here (valid
   // executions only pass decrement handles returned by prior increments).

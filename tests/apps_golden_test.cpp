@@ -1,0 +1,164 @@
+// Golden-output determinism for the application tier: every app must
+// produce byte-identical results across the full configuration lattice —
+// scheduler {ws, private} x allocator {pool, malloc} x out-set
+// {simple, tree} x batch {off, on} — because each app's answer is a pure
+// function of its inputs, not of the schedule. This is the end-to-end
+// check that the batched spawn/registration paths are semantically
+// invisible: same distances, same dp cells, same fold, only fewer counter
+// operations.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/bfs.hpp"
+#include "apps/stream_pipeline.hpp"
+#include "apps/wavefront_lcs.hpp"
+#include "sched/runtime.hpp"
+
+namespace spdag {
+namespace {
+
+struct lattice_point {
+  const char* sched;
+  const char* alloc;
+  const char* outset;
+  bool batch;
+};
+
+std::vector<lattice_point> full_lattice() {
+  std::vector<lattice_point> pts;
+  for (const char* sched : {"ws", "private"}) {
+    for (const char* alloc : {"pool", "malloc"}) {
+      for (const char* outset : {"simple", "tree"}) {
+        for (const bool batch : {false, true}) {
+          pts.push_back({sched, alloc, outset, batch});
+        }
+      }
+    }
+  }
+  return pts;
+}
+
+runtime_config make_config(const lattice_point& p) {
+  runtime_config rc;
+  rc.workers = 4;
+  rc.sched = p.sched;
+  rc.alloc = p.alloc;
+  rc.outset = p.outset;
+  return rc;
+}
+
+std::string describe(const lattice_point& p) {
+  std::string s = "sched=";
+  s += p.sched;
+  s += " alloc=";
+  s += p.alloc;
+  s += " outset=";
+  s += p.outset;
+  s += p.batch ? " batch=on" : " batch=off";
+  return s;
+}
+
+TEST(AppsGolden, BfsDistancesIdenticalAcrossLattice) {
+  const apps::bfs_graph g = apps::make_bfs_graph(3000, 6, /*seed=*/11);
+  std::vector<std::int32_t> golden;
+  for (const lattice_point& p : full_lattice()) {
+    runtime rt(make_config(p));
+    apps::bfs_config cfg{/*grain=*/32, p.batch};
+    const std::vector<std::int32_t> dist = apps::bfs_run(rt, g, cfg);
+    ASSERT_EQ(dist.size(), g.vertex_count());
+    EXPECT_EQ(dist[0], 0);
+    if (golden.empty()) {
+      golden = dist;
+    } else {
+      ASSERT_EQ(dist, golden) << describe(p);
+    }
+  }
+  // The anchor edges from vertex 0 guarantee a nontrivial reachable set.
+  std::size_t reached = 0;
+  for (const std::int32_t d : golden) {
+    if (d >= 0) ++reached;
+  }
+  EXPECT_GT(reached, g.vertex_count() / 2);
+}
+
+TEST(AppsGolden, LcsCellsIdenticalAcrossLatticeAndMatchSerial) {
+  apps::lcs_config cfg;
+  cfg.len = 192;
+  cfg.block = 32;
+  cfg.seed = 3;
+  const std::uint32_t expected = apps::lcs_serial(
+      apps::random_dna(cfg.len, cfg.seed), apps::random_dna(cfg.len, cfg.seed + 1));
+  apps::lcs_result golden{};
+  bool have_golden = false;
+  for (const lattice_point& p : full_lattice()) {
+    runtime rt(make_config(p));
+    cfg.batch = p.batch;
+    const apps::lcs_result r = apps::lcs_run(rt, cfg);
+    EXPECT_EQ(r.length, expected) << describe(p);
+    if (!have_golden) {
+      golden = r;
+      have_golden = true;
+    } else {
+      EXPECT_EQ(r.cells_checksum, golden.cells_checksum) << describe(p);
+      EXPECT_EQ(r.blocks, golden.blocks) << describe(p);
+    }
+  }
+}
+
+TEST(AppsGolden, StreamChecksumAndDeliveriesConservedAcrossLattice) {
+  apps::stream_config cfg;
+  cfg.items = 32;
+  cfg.stages = 3;
+  cfg.width = 6;
+  cfg.seed = 19;
+  const std::uint64_t want =
+      cfg.items * cfg.stages * static_cast<std::uint64_t>(cfg.width);
+  apps::stream_result golden{};
+  bool have_golden = false;
+  for (const lattice_point& p : full_lattice()) {
+    runtime rt(make_config(p));
+    cfg.batch = p.batch;
+    const apps::stream_result r = apps::stream_run(rt, cfg);
+    EXPECT_EQ(r.deliveries, want) << describe(p);
+    if (!have_golden) {
+      golden = r;
+      have_golden = true;
+    } else {
+      EXPECT_EQ(r.checksum, golden.checksum) << describe(p);
+    }
+  }
+}
+
+TEST(AppsGolden, BatchStrictlyReducesCounterOps) {
+  // The amortization claim itself, at test scale: identical work, identical
+  // edge count, strictly fewer counter operations on the batch lattice half.
+  auto measure = [](bool batch) {
+    runtime_config rc;
+    rc.workers = 4;
+    runtime rt(rc);
+    apps::lcs_config cfg;
+    cfg.len = 192;
+    cfg.block = 16;  // enough blocks per diagonal for real batches
+    cfg.batch = batch;
+    (void)apps::lcs_run(rt, cfg);
+    const engine_stats& es = rt.engine().stats();
+    const double edges =
+        static_cast<double>(es.edges.load(std::memory_order_relaxed));
+    const double ops = static_cast<double>(
+        es.counter_incs.load(std::memory_order_relaxed) +
+        es.counter_decs.load(std::memory_order_relaxed));
+    return ops / (2.0 * edges);
+  };
+  const double unbatched = measure(false);
+  const double batched = measure(true);
+  EXPECT_DOUBLE_EQ(unbatched, 1.0)
+      << "unbatched execution must pay exactly one inc + one dec per edge";
+  EXPECT_LT(batched, 1.0) << "batching must amortize increments";
+}
+
+}  // namespace
+}  // namespace spdag

@@ -84,6 +84,66 @@ TEST_P(CounterConformance, WideFanIn) {
   factory_->release(c);
 }
 
+TEST_P(CounterConformance, BatchAddRoundTrip) {
+  // add(k) must carry exactly k obligations: k departs on the returned token
+  // leave the root obligation pending; only the root depart reports zero.
+  for (const std::uint32_t k : {1u, 2u, 5u, 32u, 100u}) {
+    dep_counter* c = factory_->acquire(1);
+    const arrive_result r = c->add(c->root_token(), true, k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      EXPECT_FALSE(c->depart(r.dec)) << "premature zero, k=" << k << " i=" << i;
+    }
+    EXPECT_FALSE(c->is_zero());
+    EXPECT_TRUE(c->depart(c->root_token())) << "k=" << k;
+    EXPECT_TRUE(c->is_zero());
+    factory_->release(c);
+  }
+}
+
+TEST_P(CounterConformance, BatchAddMatchesKArrives) {
+  // Interleave batched and single increments from the handles a batch
+  // returns: the shared inc handles must behave like any arrive handle.
+  dep_counter* c = factory_->acquire(1);
+  const arrive_result batch = c->add(c->root_token(), true, 4);
+  std::vector<token> decs;
+  token inc = batch.inc_left;
+  for (int i = 0; i < 8; ++i) {
+    const arrive_result r = c->arrive(inc, (i & 1) == 0);
+    decs.push_back(r.dec);
+    inc = ((i & 1) == 0) ? r.inc_left : r.inc_right;
+  }
+  const arrive_result nested = c->add(batch.inc_right, false, 3);
+  for (const token d : decs) EXPECT_FALSE(c->depart(d));
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(c->depart(nested.dec));
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(c->depart(batch.dec));
+  EXPECT_TRUE(c->depart(c->root_token()));
+  EXPECT_TRUE(c->is_zero());
+  factory_->release(c);
+}
+
+TEST_P(CounterConformance, BatchAddConcurrentDecrementers) {
+  // The k surplus units of one add(k) resolved by k racing threads: no
+  // thread may observe zero while the root obligation is pending, and the
+  // counter must read exactly zero after the root departs.
+  for (int round = 0; round < 20; ++round) {
+    dep_counter* c = factory_->acquire(1);
+    constexpr std::uint32_t kUnits = 8;
+    const arrive_result r = c->add(c->root_token(), true, kUnits);
+    std::atomic<int> zeros{0};
+    std::vector<std::thread> threads;
+    for (std::uint32_t t = 0; t < kUnits; ++t) {
+      threads.emplace_back([c, &zeros, d = r.dec] {
+        if (c->depart(d)) zeros.fetch_add(1);
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(zeros.load(), 0) << "root obligation still pending";
+    EXPECT_TRUE(c->depart(c->root_token()));
+    EXPECT_TRUE(c->is_zero());
+    factory_->release(c);
+  }
+}
+
 TEST_P(CounterConformance, PoolRecyclingYieldsCleanCounters) {
   dep_counter* a = factory_->acquire(1);
   const arrive_result r = a->arrive(a->root_token(), true);

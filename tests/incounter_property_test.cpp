@@ -135,6 +135,120 @@ TEST_P(IncounterRandomized, NoSpuriousZeroUnderConcurrency) {
   }
 }
 
+// Single-threaded walk with batched increments mixed in: add(k) must move
+// the indicator exactly like k arrives. The k spawned obligations share one
+// dec token and the two returned inc handles (the spawn_batch shape), and
+// the walk keeps arriving from those shared handles.
+TEST_P(IncounterRandomized, IndicatorTracksOracleWithBatchedAdds) {
+  xoshiro256 rng(777);
+  for (int round = 0; round < 20; ++round) {
+    incounter ic(1, cfg());
+    std::vector<live_obligation> live{{ic.root_token(), ic.root_token(), true}};
+    std::int64_t oracle = 1;
+    for (int step = 0; step < 1500 && !live.empty(); ++step) {
+      const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
+      if (live.size() < 48 && rng.flip(1, 2)) {
+        if (rng.flip(1, 2)) {
+          // Batched spawn: k units on one placement, shared handles.
+          const std::uint32_t k = 2 + static_cast<std::uint32_t>(rng.below(7));
+          const arrive_result r = ic.add(live[i].inc, live[i].left, k);
+          const token inherited = live[i].dec;
+          live[i] = {r.inc_left, inherited, true};
+          for (std::uint32_t j = 0; j < k; ++j) {
+            const bool left = (j % 2) == 0;
+            live.push_back({left ? r.inc_left : r.inc_right, r.dec, left});
+          }
+          oracle += k;
+        } else {
+          const arrive_result r = ic.arrive(live[i].inc, live[i].left);
+          const token inherited = live[i].dec;
+          live[i] = {r.inc_left, inherited, true};
+          live.push_back({r.inc_right, r.dec, false});
+          ++oracle;
+        }
+      } else {
+        const bool zero = ic.depart(live[i].dec);
+        live[i] = live.back();
+        live.pop_back();
+        --oracle;
+        EXPECT_EQ(zero, oracle == 0) << "round " << round << " step " << step;
+      }
+      EXPECT_EQ(ic.is_zero(), oracle == 0);
+      ASSERT_EQ(oracle, static_cast<std::int64_t>(live.size()));
+    }
+    while (!live.empty()) {
+      const bool zero = ic.depart(live.back().dec);
+      live.pop_back();
+      --oracle;
+      EXPECT_EQ(zero, oracle == 0);
+    }
+    EXPECT_TRUE(ic.is_zero());
+  }
+}
+
+// Concurrent walk mixing add(k) into each thread's private sub-frontier: no
+// depart may report zero while the root obligation is pending, batched or
+// not.
+TEST_P(IncounterRandomized, NoSpuriousZeroWithBatchedAddsConcurrent) {
+  constexpr int kThreads = 4;
+  constexpr int kSteps = 2000;
+  for (int round = 0; round < 5; ++round) {
+    incounter ic(1, cfg());
+    std::atomic<std::int64_t> oracle{1};
+    std::atomic<int> zero_reports{0};
+
+    std::vector<live_obligation> seeds;
+    token inc = ic.root_token();
+    for (int t = 0; t < kThreads; ++t) {
+      const arrive_result r = ic.arrive(inc, true);
+      oracle.fetch_add(1);
+      seeds.push_back({r.inc_right, r.dec, false});
+      inc = r.inc_left;
+    }
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&ic, &oracle, &zero_reports,
+                            seed = seeds[static_cast<size_t>(t)], t] {
+        xoshiro256 rng(static_cast<std::uint64_t>(t) * 6271 + 5);
+        std::vector<live_obligation> live{seed};
+        for (int step = 0; step < kSteps && !live.empty(); ++step) {
+          const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
+          if (live.size() < 24 && rng.flip(1, 2)) {
+            const std::uint32_t k =
+                rng.flip(1, 2) ? 1 : 2 + static_cast<std::uint32_t>(rng.below(7));
+            const arrive_result r = ic.add(live[i].inc, live[i].left, k);
+            oracle.fetch_add(k);
+            const token inherited = live[i].dec;
+            live[i] = {r.inc_left, inherited, true};
+            for (std::uint32_t j = 0; j < k; ++j) {
+              const bool left = (j % 2) == 0;
+              live.push_back({left ? r.inc_left : r.inc_right, r.dec, left});
+            }
+          } else {
+            oracle.fetch_sub(1);
+            if (ic.depart(live[i].dec)) zero_reports.fetch_add(1);
+            live[i] = live.back();
+            live.pop_back();
+          }
+        }
+        for (const live_obligation& o : live) {
+          oracle.fetch_sub(1);
+          if (ic.depart(o.dec)) zero_reports.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(zero_reports.load(), 0)
+        << "a depart reported zero while the root obligation was pending";
+    EXPECT_EQ(oracle.load(), 1);
+    EXPECT_FALSE(ic.is_zero());
+    EXPECT_TRUE(ic.depart(ic.root_token()));
+    EXPECT_TRUE(ic.is_zero());
+  }
+}
+
 // Reclamation (threshold 1 + reclaim) is deliberately absent here: these
 // random walks produce executions that are valid per Definition 1 but do NOT
 // follow the sp-dag's ordered claim discipline, and reclamation's safety

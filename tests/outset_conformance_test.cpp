@@ -136,6 +136,109 @@ TEST_P(OutsetConformance, ExactlyOnceAcrossConcurrentAddsAndFinalize) {
   }
 }
 
+TEST_P(OutsetConformance, GroupAddMatchesSingleAdds) {
+  // One add_group of a pre-linked chain must be observably identical to n
+  // single adds: every waiter delivered exactly once by finalize, n tallied
+  // adds, and one group_adds tick (every instantiated spec overrides the
+  // base default with a one-CAS capture).
+  constexpr std::uint32_t kChain = 64;
+  outset* o = factory_->acquire();
+  const outset_totals before = o->totals();
+  delivery_log log(factory_.get(), kChain);
+  std::vector<outset_waiter*> ws(kChain);
+  for (std::uint32_t i = 0; i < kChain; ++i) {
+    ws[i] = factory_->acquire_waiter(fake_consumer(i), nullptr);
+  }
+  for (std::uint32_t i = 0; i + 1 < kChain; ++i) {
+    ws[i]->next.store(ws[i + 1], std::memory_order_relaxed);
+  }
+  ws[kChain - 1]->next.store(nullptr, std::memory_order_relaxed);
+  const std::uint32_t captured = o->add_group(ws[0], ws[kChain - 1], kChain);
+  EXPECT_EQ(captured, kChain) << "uncontended group add must capture all";
+  o->finalize(&delivery_log::sink, &log);
+  for (std::uint32_t i = 0; i < kChain; ++i) {
+    EXPECT_EQ(log.delivered[i].load(), 1u) << "waiter " << i;
+  }
+  const outset_totals after = o->totals();
+  EXPECT_EQ(after.adds - before.adds, kChain);
+  EXPECT_EQ(after.delivered - before.delivered, kChain);
+  EXPECT_EQ(after.group_adds - before.group_adds, 1u);
+  factory_->release(o);
+}
+
+TEST_P(OutsetConformance, GroupAddAfterFinalizeRejectsWholeChain) {
+  outset* o = factory_->acquire();
+  delivery_log log(factory_.get(), 8);
+  o->finalize(&delivery_log::sink, &log);
+  std::vector<outset_waiter*> ws(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    ws[i] = factory_->acquire_waiter(fake_consumer(i), nullptr);
+  }
+  for (std::size_t i = 0; i + 1 < 8; ++i) {
+    ws[i]->next.store(ws[i + 1], std::memory_order_relaxed);
+  }
+  ws[7]->next.store(nullptr, std::memory_order_relaxed);
+  const std::uint32_t captured = o->add_group(ws[0], ws[7], 8);
+  EXPECT_EQ(captured, 0u) << "finalized out-set must reject the whole group";
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(log.delivered[i].load(), 0u);
+    factory_->release_waiter(ws[i]);
+  }
+  EXPECT_GE(o->totals().rejected_adds, 8u);
+  factory_->release(o);
+}
+
+TEST_P(OutsetConformance, ExactlyOnceAcrossConcurrentGroupAddsAndFinalize) {
+  // Grouped registrations racing the finalizer: the captured PREFIX is
+  // delivered by finalize, the rejected suffix by its adder — exactly once
+  // for every waiter either way.
+  constexpr int kThreads = 4;
+  constexpr std::uint32_t kGroups = 64;
+  constexpr std::uint32_t kChain = 8;
+  for (int round = 0; round < 50; ++round) {
+    outset* o = factory_->acquire();
+    delivery_log log(factory_.get(), kThreads * kGroups * kChain);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> adders;
+    for (int t = 0; t < kThreads; ++t) {
+      adders.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (std::uint32_t gidx = 0; gidx < kGroups; ++gidx) {
+          outset_waiter* ws[kChain];
+          const std::size_t base =
+              (static_cast<std::size_t>(t) * kGroups + gidx) * kChain;
+          for (std::uint32_t j = 0; j < kChain; ++j) {
+            ws[j] = factory_->acquire_waiter(fake_consumer(base + j), nullptr);
+          }
+          for (std::uint32_t j = 0; j + 1 < kChain; ++j) {
+            ws[j]->next.store(ws[j + 1], std::memory_order_relaxed);
+          }
+          ws[kChain - 1]->next.store(nullptr, std::memory_order_relaxed);
+          const std::uint32_t captured =
+              o->add_group(ws[0], ws[kChain - 1], kChain);
+          for (std::uint32_t j = captured; j < kChain; ++j) {
+            log.delivered[base + j].fetch_add(1, std::memory_order_relaxed);
+            factory_->release_waiter(ws[j]);
+          }
+        }
+      });
+    }
+    std::thread finalizer([&] {
+      go.store(true, std::memory_order_release);
+      std::this_thread::yield();
+      o->finalize(&delivery_log::sink, &log);
+    });
+    for (auto& th : adders) th.join();
+    finalizer.join();
+    for (std::size_t i = 0; i < log.delivered.size(); ++i) {
+      ASSERT_EQ(log.delivered[i].load(), 1u)
+          << "round " << round << ", waiter " << i;
+    }
+    factory_->release(o);
+  }
+}
+
 TEST_P(OutsetConformance, ResetRepoolsAbandonedRegistrations) {
   outset* o = factory_->acquire();
   for (std::size_t i = 0; i < 32; ++i) {

@@ -16,6 +16,7 @@
 
 #include "dag/engine.hpp"
 #include "dag/future.hpp"
+#include "dag/parallel_for.hpp"
 #include "incounter/factory.hpp"
 #include "outset/factory.hpp"
 #include "util/rng.hpp"
@@ -126,6 +127,57 @@ void setup_mixed(dag_engine& engine, vertex* root, vertex* final_v) {
   engine.add(root);
 }
 
+// --- batched spawn under permuted schedules ---
+
+void setup_batch_fanout(dag_engine& engine, vertex* root, vertex* final_v) {
+  // Direct spawn_batch with a nested batch under a third of the children:
+  // the k siblings share one grouped dec pair and shared inc handles, so
+  // every permutation of their execution (and of the nested batches') must
+  // still resolve the finish counter exactly once.
+  g_leaves.store(0);
+  root->body = [] {
+    dag_engine* eng = dag_engine::current_engine();
+    vertex* u = dag_engine::current_vertex();
+    eng->spawn_batch(u, 24, [](std::uint32_t i) {
+      return [i] {
+        if (i % 3 == 0) {
+          dag_engine* e2 = dag_engine::current_engine();
+          vertex* v2 = dag_engine::current_vertex();
+          e2->spawn_batch(v2, 5, [](std::uint32_t) {
+            return [] { g_leaves.fetch_add(1); };
+          });
+        } else {
+          g_leaves.fetch_add(1);
+        }
+      };
+    });
+  };
+  engine.add(final_v);
+  engine.add(root);
+}
+
+void setup_batch_mixed(dag_engine& engine, vertex* root, vertex* final_v) {
+  // Blocked builder inside a finish block, then a batch in the continuation:
+  // permutes batched siblings against the finish_then publication ordering.
+  g_leaves.store(0);
+  root->body = [] {
+    finish_then(
+        [] {
+          parallel_for_blocked(0, 70, 3,
+                               [](std::size_t) { g_leaves.fetch_add(1); });
+        },
+        [] {
+          dag_engine* eng = dag_engine::current_engine();
+          vertex* u = dag_engine::current_vertex();
+          eng->spawn_batch(u, 3, [](std::uint32_t) {
+            return [] { g_leaves.fetch_add(10); };
+          });
+        });
+  };
+  engine.add(final_v);
+  engine.add(root);
+}
+
 // --- drain-enqueue order vs vertex execution ---
 
 constexpr int kFutureConsumers = 96;
@@ -204,6 +256,21 @@ TEST_P(SchedulePermutation, MixedNestingUnderManySchedules) {
   for (std::uint64_t seed = 0; seed < 25; ++seed) {
     run_seeded(GetParam(), seed, setup_mixed, 0);
     EXPECT_EQ(g_leaves.load(), 8 + 4 + 100 + 1000) << "seed " << seed;
+  }
+}
+
+TEST_P(SchedulePermutation, BatchFanoutUnderManySchedules) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    // 2 (make) + 24 batch children + 8 nested batches * 5 = 66 vertices.
+    run_seeded(GetParam(), seed, setup_batch_fanout, 66);
+    EXPECT_EQ(g_leaves.load(), 16 + 8 * 5) << "seed " << seed;
+  }
+}
+
+TEST_P(SchedulePermutation, BatchMixedFinishThenUnderManySchedules) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    run_seeded(GetParam(), seed, setup_batch_mixed, 0);
+    EXPECT_EQ(g_leaves.load(), 70 + 3 * 10) << "seed " << seed;
   }
 }
 
