@@ -1,0 +1,390 @@
+// Contention ablation: diffusion (elimination / flat combining) vs
+// tree-structuring, across the runtime's three single-cache-line hot spots.
+//
+// The paper (section 5) fixes in-counter contention by tree-structuring
+// (SNZI); this bench charts the OTHER classic remedy — diffusing the traffic
+// in place — against both the contended baseline and the tree, for each hot
+// spot:
+//
+//   pool     {pool, pool:elim}          slab recycle-list storm: cross-thread
+//                                       alloc/free pairs rendezvous on the
+//                                       elimination array instead of the
+//                                       Treiber list (src/mem/slab_pool.cpp)
+//   outset   {simple, simple:fc, tree}  add/finalize races: the fc variant
+//                                       batches adds behind one combiner CAS
+//                                       (src/outset/fc_outset.cpp), the tree
+//                                       spreads them structurally
+//   counter  {faa, fc, dyn}             arrive/depart storms: fc batches
+//                                       deltas into one fetch_add
+//                                       (src/counter/fc_counter.hpp), dyn is
+//                                       the paper's tree answer
+//
+// Every record carries exactly-once conservation evidence (attempted ==
+// accounted) plus the diffusion counters (eliminations / combined_ops /
+// combiner_passes / fallthroughs), and CI gates on them with
+// scripts/perf_smoke_gate.py --contention: a diffused spec at procs >= 2
+// must actually diffuse (eliminations + combined_ops > 0). Storms retry a
+// bounded number of rounds so a scheduling fluke on the 1-core runner can't
+// flake the gate; totals are cumulative across retries, so conservation
+// still holds exactly.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "counter/fc_counter.hpp"
+#include "harness/bench_runner.hpp"
+#include "incounter/factory.hpp"
+#include "mem/slab_pool.hpp"
+#include "outset/factory.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace spdag;
+
+// Retry rounds for the gate's diffusion requirement (see file comment).
+constexpr int kMaxRounds = 8;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --- pool storm --------------------------------------------------------------
+
+struct pool_cell {
+  std::uint64_t payload[6];
+};
+
+// Cross-thread alloc/free pairs: each thread allocates a batch, hands it to
+// its neighbor, and frees whatever lands in its own queue — the free side
+// overflows magazines (flush -> elimination offer / Treiber push) while the
+// alloc side drains them (refill -> elimination take / Treiber pop).
+void run_pool_storm(slab_pool<pool_cell>& pool, std::size_t procs,
+                    std::uint64_t ops_per_thread) {
+  struct handoff {
+    std::mutex mu;
+    std::deque<pool_cell*> q;
+  };
+  std::vector<handoff> queues(procs);
+  std::atomic<bool> go{false};
+  const std::uint64_t batch = 2u * pool.magazine_slots();
+  const std::uint64_t rounds = ops_per_thread / batch + 1;
+
+  auto worker = [&](std::size_t me) {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      std::vector<pool_cell*> mine;
+      mine.reserve(batch);
+      for (std::uint64_t i = 0; i < batch; ++i) mine.push_back(pool.create());
+      {
+        handoff& h = queues[(me + 1) % procs];
+        std::lock_guard<std::mutex> lock(h.mu);
+        for (pool_cell* c : mine) h.q.push_back(c);
+      }
+      std::vector<pool_cell*> theirs;
+      {
+        handoff& h = queues[me];
+        std::lock_guard<std::mutex> lock(h.mu);
+        theirs.assign(h.q.begin(), h.q.end());
+        h.q.clear();
+      }
+      for (pool_cell* c : theirs) pool.destroy(c);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < procs; ++t) threads.emplace_back(worker, t);
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  // Stranded handoffs (the last batch each thread pushed) drain here.
+  for (auto& h : queues) {
+    for (pool_cell* c : h.q) pool.destroy(c);
+    h.q.clear();
+  }
+}
+
+void bench_pools(std::size_t procs, std::uint64_t n, int runs) {
+  for (const bool elim : {false, true}) {
+    const std::string spec = elim ? "pool:elim" : "pool";
+    slab_pool<pool_cell> pool("contention", slab_cache::default_slab_bytes,
+                              /*magazine_bytes=*/0, /*adaptive=*/false, elim);
+    const auto t0 = std::chrono::steady_clock::now();
+    int rounds = 0;
+    for (; rounds < kMaxRounds; ++rounds) {
+      run_pool_storm(pool, procs, n);
+      if (!elim || procs < 2 || pool.stats().eliminations > 0) break;
+    }
+    const double wall = seconds_since(t0);
+    const pool_stats s = pool.stats();
+    const double attempted = static_cast<double>(s.allocs);
+    // Conservation: every allocated cell was freed and none double-freed.
+    const double accounted =
+        s.live() == 0 ? static_cast<double>(s.frees) : -1.0;
+
+    std::printf(
+        "contention/pool/%s proc=%zu ops=%llu eliminations=%llu "
+        "timeouts=%llu wall=%.3fs\n",
+        spec.c_str(), procs, static_cast<unsigned long long>(s.allocs),
+        static_cast<unsigned long long>(s.eliminations),
+        static_cast<unsigned long long>(s.elim_timeouts), wall);
+
+    if (harness::json_enabled()) {
+      harness::json_record rec;
+      rec.name = "contention/pool/";
+      rec.name += spec;
+      rec.name += "/proc:";
+      rec.name += std::to_string(procs);
+      rec.spec = spec;
+      rec.proc = procs;
+      rec.runs = runs;
+      rec.ops_per_s = wall > 0 ? attempted / wall : 0.0;
+      rec.wall_s = wall;
+      rec.pool_totals = s;
+      rec.extra.emplace_back("attempted", attempted);
+      rec.extra.emplace_back("accounted", accounted);
+      rec.extra.emplace_back("diffused", elim ? 1.0 : 0.0);
+      rec.extra.emplace_back("eliminations",
+                             static_cast<double>(s.eliminations));
+      rec.extra.emplace_back("elim_timeouts",
+                             static_cast<double>(s.elim_timeouts));
+      rec.extra.emplace_back("combined_ops", 0.0);
+      rec.extra.emplace_back("combiner_passes", 0.0);
+      rec.extra.emplace_back("fallthroughs", 0.0);
+      rec.extra.emplace_back("storm_rounds", static_cast<double>(rounds + 1));
+      harness::json_add(std::move(rec));
+    }
+  }
+}
+
+// --- outset storm ------------------------------------------------------------
+
+struct outset_delivery {
+  outset_factory* factory = nullptr;
+  std::atomic<std::uint64_t> delivered{0};
+
+  static void sink(void* ctx, outset_waiter* w) {
+    auto* d = static_cast<outset_delivery*>(ctx);
+    d->delivered.fetch_add(1, std::memory_order_relaxed);
+    d->factory->release_waiter(w);
+  }
+};
+
+void bench_outsets(std::size_t procs, std::uint64_t n, int runs) {
+  for (const std::string& spec :
+       {std::string("simple"), std::string("simple:fc"),
+        std::string("tree")}) {
+    const bool diffused = spec == "simple:fc";
+    slab_pool_registry reg;
+    auto factory = make_outset_factory(spec, &reg);
+    outset_delivery log{factory.get()};
+    std::uint64_t attempted = 0;
+    std::uint64_t self_delivered = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    int rounds = 0;
+    for (; rounds < kMaxRounds; ++rounds) {
+      // Adders race a mid-wave finalize: every waiter is either captured
+      // (delivered by the finalize drain) or rejected (its adder
+      // self-delivers) — exactly once either way.
+      outset* o = factory->acquire();
+      std::atomic<bool> go{false};
+      std::atomic<std::uint64_t> selfs{0};
+      std::vector<std::thread> adders;
+      for (std::size_t t = 0; t < procs; ++t) {
+        adders.emplace_back([&] {
+          while (!go.load(std::memory_order_acquire)) {
+          }
+          for (std::uint64_t i = 0; i < n; ++i) {
+            outset_waiter* w = factory->acquire_waiter(
+                reinterpret_cast<vertex*>(0x10), nullptr);
+            if (!o->add(w)) {
+              selfs.fetch_add(1, std::memory_order_relaxed);
+              factory->release_waiter(w);
+            }
+          }
+        });
+      }
+      std::thread finalizer([&] {
+        go.store(true, std::memory_order_release);
+        std::this_thread::yield();
+        o->finalize(&outset_delivery::sink, &log);
+      });
+      for (auto& th : adders) th.join();
+      finalizer.join();
+      factory->release(o);
+      attempted += static_cast<std::uint64_t>(procs) * n;
+      self_delivered += selfs.load(std::memory_order_relaxed);
+      if (!diffused || procs < 2 || factory->totals().combined_ops > 0) break;
+    }
+    const double wall = seconds_since(t0);
+    const outset_totals t = factory->totals();
+    const double accounted = static_cast<double>(
+        log.delivered.load(std::memory_order_relaxed) + self_delivered);
+
+    std::printf(
+        "contention/outset/%s proc=%zu adds=%llu combined=%llu passes=%llu "
+        "fallthroughs=%llu retries=%llu wall=%.3fs\n",
+        spec.c_str(), procs, static_cast<unsigned long long>(attempted),
+        static_cast<unsigned long long>(t.combined_ops),
+        static_cast<unsigned long long>(t.combiner_passes),
+        static_cast<unsigned long long>(t.fallthroughs),
+        static_cast<unsigned long long>(t.add_cas_retries), wall);
+
+    if (harness::json_enabled()) {
+      harness::json_record rec;
+      rec.name = "contention/outset/";
+      rec.name += spec;
+      rec.name += "/proc:";
+      rec.name += std::to_string(procs);
+      rec.spec = spec;
+      rec.proc = procs;
+      rec.runs = runs;
+      rec.ops_per_s =
+          wall > 0 ? static_cast<double>(attempted) / wall : 0.0;
+      rec.wall_s = wall;
+      rec.outsets = t;
+      rec.extra.emplace_back("attempted", static_cast<double>(attempted));
+      rec.extra.emplace_back("accounted", accounted);
+      rec.extra.emplace_back("diffused", diffused ? 1.0 : 0.0);
+      rec.extra.emplace_back("eliminations", 0.0);
+      rec.extra.emplace_back("combined_ops",
+                             static_cast<double>(t.combined_ops));
+      rec.extra.emplace_back("combiner_passes",
+                             static_cast<double>(t.combiner_passes));
+      rec.extra.emplace_back("fallthroughs",
+                             static_cast<double>(t.fallthroughs));
+      rec.extra.emplace_back("add_cas_retries",
+                             static_cast<double>(t.add_cas_retries));
+      rec.extra.emplace_back("storm_rounds", static_cast<double>(rounds + 1));
+      harness::json_add(std::move(rec));
+    }
+  }
+}
+
+// --- counter storm -----------------------------------------------------------
+
+void bench_counters(std::size_t procs, std::uint64_t n, int runs) {
+  for (const std::string& spec :
+       {std::string("faa"), std::string("fc"), std::string("dyn")}) {
+    const bool diffused = spec == "fc";
+    auto factory = make_counter_factory(spec);
+    std::uint64_t attempted = 0;
+    std::uint64_t accounted = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    int rounds = 0;
+    for (; rounds < kMaxRounds; ++rounds) {
+      // Each thread builds short arrive chains from its own handle and
+      // resolves them LIFO (the disciplined claim order reclamation needs);
+      // the root obligation resolves last, so exactly the final depart may
+      // report zero.
+      constexpr std::uint64_t kChain = 32;
+      dep_counter* c = factory->acquire(1);
+      std::atomic<bool> go{false};
+      std::atomic<std::uint64_t> zeros{0};
+      std::vector<std::thread> threads;
+      for (std::size_t t = 0; t < procs; ++t) {
+        threads.emplace_back([&] {
+          while (!go.load(std::memory_order_acquire)) {
+          }
+          std::vector<token> decs;
+          decs.reserve(kChain);
+          for (std::uint64_t done = 0; done < n; done += kChain) {
+            decs.clear();
+            token inc = c->root_token();
+            for (std::uint64_t i = 0; i < kChain; ++i) {
+              const arrive_result r = c->arrive(inc, (i & 1) == 0);
+              decs.push_back(r.dec);
+              inc = r.inc_right;
+            }
+            for (auto it = decs.rbegin(); it != decs.rend(); ++it) {
+              if (c->depart(*it)) zeros.fetch_add(1);
+            }
+          }
+        });
+      }
+      go.store(true, std::memory_order_release);
+      for (auto& th : threads) th.join();
+      const bool root_zero = c->depart(c->root_token());
+      const std::uint64_t pairs =
+          static_cast<std::uint64_t>(procs) * ((n + kChain - 1) / kChain) *
+          kChain;
+      attempted += pairs + 1;  // + the root obligation
+      // Exactly-once readiness: no storm depart saw zero (the root
+      // obligation was outstanding throughout) and the root depart did.
+      const bool conserved = zeros.load() == 0 && root_zero && c->is_zero();
+      accounted += conserved ? pairs + 1 : 0;
+      factory->release(c);
+      if (!diffused || procs < 2) break;
+      auto* fcf = dynamic_cast<fc_factory*>(factory.get());
+      if (fcf != nullptr && fcf->combining_totals().combined_ops > 0) break;
+    }
+    const double wall = seconds_since(t0);
+    counter_combining_totals ct;
+    if (auto* fcf = dynamic_cast<fc_factory*>(factory.get())) {
+      ct = fcf->combining_totals();
+    }
+
+    std::printf(
+        "contention/counter/%s proc=%zu pairs=%llu combined=%llu "
+        "passes=%llu fallthroughs=%llu wall=%.3fs\n",
+        spec.c_str(), procs, static_cast<unsigned long long>(attempted),
+        static_cast<unsigned long long>(ct.combined_ops),
+        static_cast<unsigned long long>(ct.combiner_passes),
+        static_cast<unsigned long long>(ct.fallthroughs), wall);
+
+    if (harness::json_enabled()) {
+      harness::json_record rec;
+      rec.name = "contention/counter/";
+      rec.name += spec;
+      rec.name += "/proc:";
+      rec.name += std::to_string(procs);
+      rec.spec = spec;
+      rec.proc = procs;
+      rec.runs = runs;
+      rec.ops_per_s =
+          wall > 0 ? static_cast<double>(attempted) / wall : 0.0;
+      rec.wall_s = wall;
+      rec.extra.emplace_back("attempted", static_cast<double>(attempted));
+      rec.extra.emplace_back("accounted", static_cast<double>(accounted));
+      rec.extra.emplace_back("diffused", diffused ? 1.0 : 0.0);
+      rec.extra.emplace_back("eliminations", 0.0);
+      rec.extra.emplace_back("combined_ops",
+                             static_cast<double>(ct.combined_ops));
+      rec.extra.emplace_back("combiner_passes",
+                             static_cast<double>(ct.combiner_passes));
+      rec.extra.emplace_back("fallthroughs",
+                             static_cast<double>(ct.fallthroughs));
+      rec.extra.emplace_back("storm_rounds", static_cast<double>(rounds + 1));
+      harness::json_add(std::move(rec));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opts(argc, argv);
+  harness::json_open(opts, "contention_ablation");
+  const harness::common_options common = harness::read_common(opts, 1 << 13);
+
+  std::printf("# contention_ablation: diffusion (elim/fc) vs tree, n=%llu "
+              "per thread, procs up to %zu\n",
+              static_cast<unsigned long long>(common.n), common.max_proc);
+
+  for (const std::size_t procs : harness::worker_sweep(common.max_proc, 3)) {
+    bench_pools(procs, common.n, common.runs);
+    bench_outsets(procs, common.n, common.runs);
+    bench_counters(procs, common.n, common.runs);
+  }
+  return harness::json_write();
+}

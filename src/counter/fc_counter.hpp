@@ -1,0 +1,226 @@
+#pragma once
+// Flat-combining dependency counter: the diffused flat baseline (ablation).
+//
+// The paper resolves the FAA counter's single-cache-line contention by
+// tree-structuring (SNZI). This counter applies the OTHER classic remedy —
+// flat combining, after flat_combining_stack.h from the Concurrent-
+// Containers exemplar (SNIPPETS.md) — to the same flat cell: threads
+// publish their arrive/add/depart deltas to per-slot records, and whoever
+// wins the combiner flag folds every pending delta into ONE fetch_add on
+// the shared line, then hands each depart its reached-zero verdict. fig14-
+// style sweeps get a third series between "flat, contended" (faa) and
+// "tree-structured" (snzi/dyn): flat, diffused.
+//
+// Linearization of a combined batch: arrives first, then departs. With a
+// non-negative start S and net delta N, intermediate values stay positive
+// and zero is reachable only at the batch's last depart when S + N == 0 —
+// so exactly one depart observes the drop to zero, matching faa_counter's
+// `prev == 1` exactly-once readiness contract.
+//
+// A thread whose publication slot is taken (collision, or no thread slot)
+// falls through to the direct FAA — counted, like the out-set's
+// fallthroughs, so the bench JSON shows the combiner's absorption rate.
+// Tokens: none, like faa (uses_tokens() == false).
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <thread>
+
+#include "counter/dep_counter.hpp"
+#include "mem/thread_slot.hpp"
+#include "obs/trace.hpp"
+#include "util/cache_aligned.hpp"
+
+namespace spdag {
+
+// Combining instrumentation mirrored from outset_totals' fc fields (see
+// outset/outset.hpp): requests a combiner served for OTHER threads, batches
+// applied, and slotless/collision operations that went straight to the
+// shared cell.
+struct counter_combining_totals {
+  std::uint64_t combined_ops = 0;
+  std::uint64_t combiner_passes = 0;
+  std::uint64_t fallthroughs = 0;
+
+  counter_combining_totals& operator+=(
+      const counter_combining_totals& o) noexcept {
+    combined_ops += o.combined_ops;
+    combiner_passes += o.combiner_passes;
+    fallthroughs += o.fallthroughs;
+    return *this;
+  }
+};
+
+class fc_counter final : public dep_counter {
+ public:
+  static constexpr std::size_t fc_slot_count = 16;
+
+  explicit fc_counter(std::uint32_t initial = 0) noexcept { reset(initial); }
+
+  arrive_result arrive(token /*inc_hint*/, bool /*from_left*/) override {
+    run_op(1, /*is_depart=*/false);
+    return {0, 0, 0};
+  }
+
+  arrive_result add(token /*inc_hint*/, bool /*from_left*/,
+                    std::uint32_t k) override {
+    assert(k >= 1 && "a batched increment covers at least one unit");
+    run_op(static_cast<std::int64_t>(k), /*is_depart=*/false);
+    return {0, 0, 0};
+  }
+
+  bool depart(token /*dec*/) override {
+    return run_op(-1, /*is_depart=*/true);
+  }
+
+  bool is_zero() const override {
+    return count_.value.load(std::memory_order_acquire) == 0;
+  }
+
+  token root_token() override { return 0; }
+  bool uses_tokens() const override { return false; }
+
+  void reset(std::uint32_t n) override {
+    // Non-concurrent by contract, so every publication slot is empty.
+    count_.value.store(static_cast<std::int64_t>(n),
+                       std::memory_order_relaxed);
+  }
+
+  std::int64_t value() const noexcept {
+    return count_.value.load(std::memory_order_acquire);
+  }
+
+  counter_combining_totals combining_totals() const noexcept {
+    counter_combining_totals t;
+    t.combined_ops = combined_ops_.load(std::memory_order_relaxed);
+    t.combiner_passes = combiner_passes_.load(std::memory_order_relaxed);
+    t.fallthroughs = fallthroughs_.load(std::memory_order_relaxed);
+    return t;
+  }
+
+ private:
+  // Same publication-record hand-off as fc_outset (outset/fc_outset.hpp):
+  // only the state word is touched cross-thread while a request is in
+  // flight; delta/is_depart travel through its release/acquire transitions
+  // and `zero` travels back with the done transition.
+  enum : std::uint32_t {
+    rec_empty = 0,
+    rec_owned = 1,
+    rec_pending = 2,
+    rec_done = 3,
+  };
+  struct alignas(cache_line_size) pub_record {
+    std::atomic<std::uint32_t> state{rec_empty};
+    std::int64_t delta = 0;
+    bool is_depart = false;
+    bool zero = false;  // reached-zero verdict (departs only)
+  };
+
+  static void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  }
+
+  // Publish one delta and wait for its verdict, combining when the flag is
+  // free; falls through to the direct FAA on a slot collision. Returns the
+  // reached-zero verdict (false for arrives/adds).
+  bool run_op(std::int64_t delta, bool is_depart) noexcept {
+    const int ts = mem::thread_slot();
+    if (ts >= 0) {
+      pub_record& r = slots_[static_cast<std::size_t>(ts) % fc_slot_count];
+      std::uint32_t expect = rec_empty;
+      if (r.state.compare_exchange_strong(expect, rec_owned,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        r.delta = delta;
+        r.is_depart = is_depart;
+        r.state.store(rec_pending, std::memory_order_release);
+        std::uint32_t spins = 0;
+        for (;;) {
+          if (r.state.load(std::memory_order_acquire) == rec_done) {
+            const bool zero = r.zero;
+            r.state.store(rec_empty, std::memory_order_release);
+            return zero;
+          }
+          // Grace window before self-combining, exactly as in
+          // fc_outset::run_request: the pauses batch concurrent publishers,
+          // the single yield hands the core over on oversubscribed (1-core
+          // CI) runs — without it every requester instantly serves itself
+          // and nothing ever combines.
+          if (spins < 64) {
+            cpu_pause();
+            ++spins;
+            continue;
+          }
+          if (spins == 64) {
+            ++spins;
+            std::this_thread::yield();
+            continue;
+          }
+          std::uint32_t free = 0;
+          if (combiner_.compare_exchange_strong(free, 1,
+                                                std::memory_order_acquire,
+                                                std::memory_order_relaxed)) {
+            combine(&r);
+            combiner_.store(0, std::memory_order_release);
+            continue;  // our request is complete; read the verdict above
+          }
+          cpu_pause();
+          if (++spins % 64 == 0) std::this_thread::yield();
+        }
+      }
+    }
+    fallthroughs_.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t prev =
+        count_.value.fetch_add(delta, std::memory_order_seq_cst);
+    assert(prev + delta >= 0 && "fc counter went negative");
+    return is_depart && prev + delta == 0;
+  }
+
+  void combine(pub_record* mine) noexcept {
+    pub_record* got[fc_slot_count];
+    std::size_t k = 0;
+    for (auto& r : slots_) {
+      if (r.state.load(std::memory_order_acquire) == rec_pending) {
+        got[k++] = &r;
+      }
+    }
+    if (k == 0) return;
+    std::int64_t net = 0;
+    pub_record* last_depart = nullptr;
+    for (std::size_t i = 0; i < k; ++i) {
+      net += got[i]->delta;
+      if (got[i]->is_depart) last_depart = got[i];
+    }
+    // ONE shared-line RMW for the whole batch. Linearized arrives-first:
+    // zero is reachable only at the batch's final depart (file comment), so
+    // at most one verdict is true.
+    const std::int64_t prev =
+        count_.value.fetch_add(net, std::memory_order_seq_cst);
+    assert(prev + net >= 0 && "fc counter went negative");
+    const bool hit_zero = prev + net == 0 && last_depart != nullptr;
+    std::uint32_t others = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      pub_record* r = got[i];
+      r->zero = hit_zero && r == last_depart;
+      if (r != mine) ++others;
+      r->state.store(rec_done, std::memory_order_release);
+    }
+    combiner_passes_.fetch_add(1, std::memory_order_relaxed);
+    combined_ops_.fetch_add(others, std::memory_order_relaxed);
+    obs::emit(obs::ev_combine, 1, others);
+  }
+
+  cache_aligned<std::atomic<std::int64_t>> count_{0};
+  std::atomic<std::uint32_t> combiner_{0};
+  pub_record slots_[fc_slot_count];
+  std::atomic<std::uint64_t> combined_ops_{0};
+  std::atomic<std::uint64_t> combiner_passes_{0};
+  std::atomic<std::uint64_t> fallthroughs_{0};
+};
+
+}  // namespace spdag

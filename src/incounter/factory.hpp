@@ -15,6 +15,7 @@
 #include <string>
 
 #include "counter/dep_counter.hpp"
+#include "counter/fc_counter.hpp"
 #include "incounter/incounter.hpp"
 #include "mem/object_bank.hpp"
 #include "mem/registry.hpp"
@@ -55,6 +56,10 @@ class counter_factory {
   virtual std::unique_ptr<dep_counter> create() = 0;
   // Pooled construction: emplace the concrete type into the bank.
   virtual dep_counter* create_pooled(object_bank<dep_counter>& bank) = 0;
+  // Every counter this factory ever created (bank cells stay live for the
+  // factory's lifetime) — concrete factories sum per-counter instrumentation
+  // over it, like fc_factory::combining_totals().
+  const object_bank<dep_counter>& bank() const noexcept { return bank_; }
 
  private:
   object_bank<dep_counter> bank_;
@@ -66,6 +71,22 @@ class faa_factory final : public counter_factory {
  public:
   std::string name() const override { return "faa"; }
   std::string display_name() const override { return "Fetch & Add"; }
+
+ protected:
+  std::unique_ptr<dep_counter> create() override;
+  dep_counter* create_pooled(object_bank<dep_counter>& bank) override;
+};
+
+class fc_factory final : public counter_factory {
+ public:
+  explicit fc_factory(pool_registry* pools = nullptr)
+      : counter_factory(pools) {}
+  std::string name() const override { return "fc"; }
+  std::string display_name() const override { return "Flat combining"; }
+
+  // Combining instrumentation summed over every counter this factory ever
+  // created (monotone across pooling generations, like outset totals).
+  counter_combining_totals combining_totals() const;
 
  protected:
   std::unique_ptr<dep_counter> create() override;
@@ -138,6 +159,9 @@ class locked_factory final : public counter_factory {
 
 // Parses a counter spec:
 //   "faa"                         fetch-and-add cell
+//   "fc"                          flat-combining front over the same cell
+//                                 (counter/fc_counter.hpp) — the diffused
+//                                 flat baseline for contention ablations
 //   "snzi:<depth>"                fixed-depth SNZI tree
 //   "dyn[:<threshold>]"           in-counter; default threshold = 25 * cores
 //                                 (the paper's p = 1/(25c))

@@ -63,6 +63,12 @@ struct pool_stats {
                                     // epoch limbo (epoch reclamation)
   std::uint64_t slabs_reclaimed = 0;// limbo slabs actually freed after the
                                     // 2-epoch safety delay
+  std::uint64_t eliminations = 0;   // free/alloc pairs that rendezvoused on
+                                    // an elimination slot and cancelled
+                                    // without touching the recycle list
+                                    // (alloc:pool:elim; counted per pair)
+  std::uint64_t elim_timeouts = 0;  // offers that spun out and fell through
+                                    // to the Treiber list
 
   // Gauges (snapshots, not counters) ---------------------------------------
   std::uint64_t magazine_cells = 0; // cells currently parked in magazines
@@ -110,6 +116,8 @@ struct pool_stats {
     mag_shrinks += o.mag_shrinks;
     slabs_retired += o.slabs_retired;
     slabs_reclaimed += o.slabs_reclaimed;
+    eliminations += o.eliminations;
+    elim_timeouts += o.elim_timeouts;
     magazine_cells += o.magazine_cells;
     recycle_cells += o.recycle_cells;
     limbo_cells += o.limbo_cells;

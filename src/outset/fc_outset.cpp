@@ -1,0 +1,242 @@
+#include "outset/fc_outset.hpp"
+
+#include <thread>
+
+#include "mem/thread_slot.hpp"
+#include "obs/trace.hpp"
+
+namespace spdag {
+
+namespace {
+
+// Spin-wait hint (the lockperf idiom); falls back to nothing on targets
+// without one — the periodic yield below still guarantees progress there.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
+
+bool fc_outset::add(outset_waiter* w) noexcept {
+  const int ts = mem::thread_slot();
+  if (ts >= 0) {
+    pub_record& r = slots_[static_cast<std::size_t>(ts) % fc_slot_count];
+    std::uint32_t expect = rec_empty;
+    if (r.state.compare_exchange_strong(expect, rec_owned,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      return run_request(w, w, 1, /*group=*/false);
+    }
+  }
+  // Slot collision (two threads mapping to one record) or no thread slot at
+  // all: the direct head CAS keeps the operation wait-free-ish instead of
+  // queueing behind a stranger's spin.
+  count_fallthrough();
+  return direct_add(w);
+}
+
+std::uint32_t fc_outset::add_group(outset_waiter* head, outset_waiter* tail,
+                                   std::uint32_t n) noexcept {
+  const int ts = mem::thread_slot();
+  if (ts >= 0) {
+    pub_record& r = slots_[static_cast<std::size_t>(ts) % fc_slot_count];
+    std::uint32_t expect = rec_empty;
+    if (r.state.compare_exchange_strong(expect, rec_owned,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      return run_request(head, tail, n, /*group=*/true) ? n : 0;
+    }
+  }
+  count_fallthrough();
+  return direct_add_group(head, tail, n);
+}
+
+// Precondition: the caller just claimed exactly one record (state ==
+// rec_owned) — find it by identity is unnecessary, the claim CAS in
+// add/add_group passed us here with the record still owned, so re-derive it
+// from the thread slot (stable for the thread's lifetime).
+bool fc_outset::run_request(outset_waiter* head, outset_waiter* tail,
+                            std::uint32_t n, bool group) noexcept {
+  const std::size_t my =
+      static_cast<std::size_t>(mem::thread_slot()) % fc_slot_count;
+  pub_record& r = slots_[my];
+  r.head = head;
+  r.tail = tail;
+  r.n = n;
+  r.group = group;
+  r.state.store(rec_pending, std::memory_order_release);
+  std::uint32_t spins = 0;
+  for (;;) {
+    const std::uint32_t st = r.state.load(std::memory_order_acquire);
+    if (st == rec_done_captured || st == rec_done_rejected) {
+      r.state.store(rec_empty, std::memory_order_release);
+      return st == rec_done_captured;
+    }
+    // Grace window before grabbing the flag ourselves: flat combining only
+    // combines if a published request stays visible long enough for a
+    // combiner to gather it — grabbing the flag on the first iteration
+    // degenerates to one-op batches. The pauses batch truly concurrent
+    // publishers; the single yield hands the core to a concurrent publisher
+    // on oversubscribed runs (the 1-core CI runner), after which one of the
+    // parties combines for both.
+    if (spins < 64) {
+      cpu_pause();
+      ++spins;
+      continue;
+    }
+    if (spins == 64) {
+      ++spins;
+      std::this_thread::yield();
+      continue;
+    }
+    // Nobody has served us yet: try to become the combiner ourselves. A
+    // successful combine() always completes our own pending request, so the
+    // next loop iteration reads the verdict.
+    std::uint32_t free = 0;
+    if (combiner_.compare_exchange_strong(free, 1, std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+      combine(my);
+      combiner_.store(0, std::memory_order_release);
+      continue;
+    }
+    // Another thread holds the combiner flag and will either take our
+    // request in its gather or release the flag to us. Bounded-courtesy
+    // spin: yield periodically so a preempted combiner gets the core (the
+    // 1-core CI runner depends on it).
+    cpu_pause();
+    if (++spins % 64 == 0) std::this_thread::yield();
+  }
+}
+
+void fc_outset::combine(std::size_t my_slot) noexcept {
+  // 1. Gather every pending request. The acquire load pairs with each
+  //    requester's release publish, making its chain fields visible. The
+  //    record array is part of this pool-cell object (kept live by the
+  //    factory's object_bank), so this walk needs no epoch pin of its own —
+  //    the waiter cells it links are covered by the out-set's standing
+  //    reclamation argument (src/mem/epoch.hpp via mem/pool.hpp).
+  pub_record* got[fc_slot_count];
+  std::size_t k = 0;
+  for (auto& r : slots_) {
+    if (r.state.load(std::memory_order_acquire) == rec_pending) {
+      got[k++] = &r;
+    }
+  }
+  if (k == 0) return;
+
+  // 2. Link the per-request chains (each internally pre-linked) into one
+  //    batch chain. Between pending and done the combiner owns these
+  //    waiters exclusively — the requesters are spinning, not reading.
+  outset_waiter* batch_head = got[0]->head;
+  outset_waiter* batch_tail = got[0]->tail;
+  std::uint32_t total = got[0]->n;
+  for (std::size_t i = 1; i < k; ++i) {
+    batch_tail->next.store(got[i]->head, std::memory_order_relaxed);
+    batch_tail = got[i]->tail;
+    total += got[i]->n;
+  }
+  (void)total;
+
+  // 3. Splice the whole batch with ONE head CAS — add_group's all-or-
+  //    nothing contract (simple_outset.cpp): it either lands in front of
+  //    the current list or loses atomically to finalize's sentinel
+  //    exchange, rejecting every batched request whole.
+  outset_waiter* old = head_.load(std::memory_order_acquire);
+  bool captured;
+  for (;;) {
+    if (old == terminated_waiter()) {
+      captured = false;
+      break;
+    }
+    batch_tail->next.store(old, std::memory_order_relaxed);
+    if (head_.compare_exchange_weak(old, batch_head,
+                                    std::memory_order_release,
+                                    std::memory_order_acquire)) {
+      captured = true;
+      break;
+    }
+    count_retry();
+  }
+
+  // 4. Deliver verdicts. On rejection each record's chain is re-severed at
+  //    its own tail, undoing step 2's cross-record links, so a rejected
+  //    add_group caller self-delivers exactly its own n waiters (the
+  //    prefix-capture contract's captured == 0 case).
+  std::uint32_t others = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    pub_record* r = got[i];
+    if (captured) {
+      count_add(r->n);
+      if (r->group) count_group_add();
+    } else {
+      count_rejected(r->n);
+      r->tail->next.store(nullptr, std::memory_order_relaxed);
+    }
+    if (static_cast<std::size_t>(r - slots_) != my_slot) ++others;
+    r->state.store(captured ? rec_done_captured : rec_done_rejected,
+                   std::memory_order_release);
+  }
+  count_combiner_pass();
+  count_combined(others);
+  obs::emit(obs::ev_combine, 0, others);
+}
+
+bool fc_outset::direct_add(outset_waiter* w) noexcept {
+  // Verbatim simple_outset::add against the same head.
+  outset_waiter* head = head_.load(std::memory_order_acquire);
+  for (;;) {
+    if (head == terminated_waiter()) {
+      count_rejected();
+      return false;
+    }
+    w->next.store(head, std::memory_order_relaxed);
+    if (head_.compare_exchange_weak(head, w, std::memory_order_release,
+                                    std::memory_order_acquire)) {
+      count_add();
+      return true;
+    }
+    count_retry();
+  }
+}
+
+std::uint32_t fc_outset::direct_add_group(outset_waiter* head,
+                                          outset_waiter* tail,
+                                          std::uint32_t n) noexcept {
+  // Verbatim simple_outset::add_group against the same head.
+  outset_waiter* old = head_.load(std::memory_order_acquire);
+  for (;;) {
+    if (old == terminated_waiter()) {
+      count_rejected(n);
+      return 0;
+    }
+    tail->next.store(old, std::memory_order_relaxed);
+    if (head_.compare_exchange_weak(old, head, std::memory_order_release,
+                                    std::memory_order_acquire)) {
+      count_add(n);
+      count_group_add();
+      return n;
+    }
+    count_retry();
+  }
+}
+
+void fc_outset::finalize(waiter_sink sink, void* ctx) {
+  // One exchange terminates the out-set; a combiner splice either landed
+  // before this (its waiters drain here) or its CAS now sees the sentinel
+  // and rejects the whole batch back to the callers.
+  outset_waiter* w =
+      head_.exchange(terminated_waiter(), std::memory_order_acq_rel);
+  drain_chain(w, sink, ctx);
+}
+
+void fc_outset::reset(waiter_sink sink, void* ctx) {
+  // Non-concurrent by contract: no request can be in flight, so every
+  // publication slot is empty and only the list needs scrubbing.
+  scrub_chain(head_.exchange(nullptr, std::memory_order_relaxed), sink, ctx);
+}
+
+}  // namespace spdag

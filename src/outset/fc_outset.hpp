@@ -1,0 +1,101 @@
+#pragma once
+// fc_outset: flat-combining front over the single-cell CAS-list out-set.
+//
+// simple_outset serializes every concurrent registration on one cache line:
+// n concurrent adds cost O(n) CAS retries EACH under pressure (the fan-out
+// analogue of the paper's Fetch & Add baseline). The tree out-set fixes that
+// by SPREADING registrations across nodes; this class is the other classic
+// remedy — DIFFUSING them in place, after flat_combining_stack.h from the
+// Concurrent-Containers exemplar (SNIPPETS.md). Threads publish their
+// add / add_group requests to per-slot publication records (one cache line
+// each, indexed by mem::thread_slot()); whoever wins the combiner flag
+// gathers every pending request, links the waiters into ONE chain, and
+// splices the whole batch in front of the list with a SINGLE head CAS —
+// reusing add_group's chain-splice contract (simple_outset.cpp), including
+// its finalize-race resolution: the splice CAS loses atomically to
+// finalize's sentinel exchange, in which case every batched request is
+// rejected whole and each caller self-delivers (exactly-once preserved, and
+// each add_group still observes the all-or-nothing prefix-capture contract:
+// n on capture, 0 on rejection, with its internal chain links restored).
+//
+// A thread that finds its publication slot taken (slot collision, or no
+// thread slot at all) falls through to the direct simple-style head CAS —
+// counted in totals().fallthroughs, so the bench JSON shows how much of the
+// traffic the combiner actually absorbed (combined_ops / combiner_passes).
+//
+// Reclamation safety: publication records are part of the out-set object
+// itself — a registry pool cell that the factory's object_bank keeps LIVE
+// for the factory's lifetime (mem/object_bank.hpp), so the combiner's slot
+// walk never touches unmapped memory. The waiter chains it links are owned
+// exclusively between "pending" and "done" (the requester spins, the
+// combiner works), so no stale read needs an epoch argument beyond the one
+// the out-set already makes for its head list (src/mem/epoch.hpp): waiter
+// cells are pool cells whose storage only leaves through the epoch-governed
+// trim doors.
+
+#include <cstdint>
+
+#include "outset/outset.hpp"
+#include "util/cache_aligned.hpp"
+
+namespace spdag {
+
+class fc_outset final : public outset {
+ public:
+  // Publication slots. 16 spreads a small machine's worth of threads while
+  // keeping the combiner's gather walk short; collisions just fall through
+  // to the direct CAS, so correctness never depends on the count.
+  static constexpr std::size_t fc_slot_count = 16;
+
+  bool add(outset_waiter* w) noexcept override;
+  // All-or-nothing like simple_outset (n on capture, 0 on rejection) — the
+  // batch may additionally ride a combiner splice with other threads'
+  // requests, still one head CAS for the whole lot.
+  std::uint32_t add_group(outset_waiter* head, outset_waiter* tail,
+                          std::uint32_t n) noexcept override;
+  void finalize(waiter_sink sink, void* ctx) override;
+  void reset(waiter_sink sink, void* ctx) override;
+
+ private:
+  // One publication record per slot. The state word carries the hand-off:
+  //   empty -> owned (requester claimed, filling fields)
+  //         -> pending (request visible to a combiner)
+  //         -> done_captured | done_rejected (combiner's verdict)
+  //         -> empty (requester read the verdict and freed the slot)
+  // Only the state word is ever touched cross-thread while a request is in
+  // flight; the chain fields are published/consumed through its
+  // release/acquire transitions.
+  enum : std::uint32_t {
+    rec_empty = 0,
+    rec_owned = 1,
+    rec_pending = 2,
+    rec_done_captured = 3,
+    rec_done_rejected = 4,
+  };
+  struct alignas(cache_line_size) pub_record {
+    std::atomic<std::uint32_t> state{rec_empty};
+    outset_waiter* head = nullptr;
+    outset_waiter* tail = nullptr;
+    std::uint32_t n = 0;
+    bool group = false;  // add_group (counts a group_add) vs single add
+  };
+
+  // Publishes one request and waits for a verdict, becoming the combiner
+  // when the flag is free. Returns true on capture. Falls back to
+  // `direct_*` when no slot is available (never blocks on a collision).
+  bool run_request(outset_waiter* head, outset_waiter* tail, std::uint32_t n,
+                   bool group) noexcept;
+  // One combiner pass: gather pending records, splice all their chains with
+  // a single head CAS (or reject all against the finalize sentinel).
+  void combine(std::size_t my_slot) noexcept;
+
+  bool direct_add(outset_waiter* w) noexcept;
+  std::uint32_t direct_add_group(outset_waiter* head, outset_waiter* tail,
+                                 std::uint32_t n) noexcept;
+
+  std::atomic<outset_waiter*> head_{nullptr};
+  std::atomic<std::uint32_t> combiner_{0};  // 0 = free, 1 = held
+  pub_record slots_[fc_slot_count];
+};
+
+}  // namespace spdag

@@ -189,6 +189,37 @@ TEST(SlabPool, CrossThreadAllocFreeStormAdaptive) {
   EXPECT_LE(s.mag_cap_hi, pool.magazine_slots());
 }
 
+TEST(SlabPool, CrossThreadAllocFreeStormElim) {
+  // The same conservation storm with the elimination array fronting the
+  // recycle list: flushes/remote frees park cells on rendezvous slots and
+  // refills harvest them. Conservation must hold exactly AND the diffusion
+  // must actually fire; rendezvous timing is scheduler-dependent, so retry
+  // a bounded number of fresh-pool rounds before declaring it dead.
+  for (int round = 0;; ++round) {
+    slab_pool<counted> pool("storm_elim", slab_cache::default_slab_bytes,
+                            /*magazine_bytes=*/0, /*adaptive=*/false,
+                            /*elim=*/true);
+    run_cross_thread_storm(pool);
+    const pool_stats s = pool.stats();
+    // Every flush offers its top shed cell to the array, so the rendezvous
+    // was reached even when every offer spun out.
+    EXPECT_GT(s.eliminations + s.elim_timeouts, 0u)
+        << "the storm never touched the elimination array";
+    if (s.eliminations == 0 && round < 7) continue;
+    EXPECT_GT(s.eliminations, 0u)
+        << "no free/alloc pair ever rendezvoused in 8 storms";
+    // Quiescent trim must drain parked cells along with the recycle list —
+    // stats() folds occupied slots into recycle_cells, so the gauge going
+    // to zero proves the array is empty.
+    pool.trim();
+    const pool_stats t = pool.stats();
+    EXPECT_EQ(t.live(), 0u);
+    EXPECT_EQ(t.recycle_cells, 0u)
+        << "trim must drain parked elimination slots";
+    break;
+  }
+}
+
 TEST(SlabPool, OversubscribedThreadsFallBackToGlobalList) {
   // More threads than there are magazine slots cannot be spawned cheaply,
   // so exercise the bypass path directly through its primitive: a pool
@@ -465,6 +496,16 @@ TEST(PoolRegistry, SpecParsing) {
             "pool:8192:adaptive");
   EXPECT_EQ(make_pool_registry("pool:65536:512:adaptive")->spec(),
             "pool:65536:512:adaptive");
+  // The elimination marker composes with every pool form (it is a flag
+  // like "adaptive", order-independent between the two).
+  EXPECT_EQ(make_pool_registry("pool:elim")->spec(), "pool:elim");
+  EXPECT_EQ(make_pool_registry("alloc:pool:elim")->spec(), "pool:elim");
+  EXPECT_EQ(make_pool_registry("pool:8192:elim")->spec(), "pool:8192:elim");
+  EXPECT_EQ(make_pool_registry("pool:adaptive:elim")->spec(),
+            "pool:adaptive:elim");
+  EXPECT_EQ(make_pool_registry("pool:elim:adaptive")->spec(),
+            "pool:adaptive:elim")
+      << "spec() echoes flags in canonical order";
   EXPECT_THROW(make_pool_registry("bogus"), std::invalid_argument);
   EXPECT_THROW(make_pool_registry("pool:64"), std::invalid_argument);
   EXPECT_THROW(make_pool_registry("pool:999999999"), std::invalid_argument);
@@ -487,6 +528,12 @@ TEST(PoolRegistry, SpecParsing) {
   EXPECT_THROW(make_pool_registry("pool:65536:adaptive:adaptive"),
                std::invalid_argument);
   EXPECT_THROW(make_pool_registry("pool:65536:"), std::invalid_argument);
+  // The elimination flag is a POOL feature: malloc has no recycle list to
+  // front, and like "adaptive" it may appear at most once.
+  EXPECT_THROW(make_pool_registry("malloc:elim"), std::invalid_argument);
+  EXPECT_THROW(make_pool_registry("alloc:malloc:elim"), std::invalid_argument);
+  EXPECT_THROW(make_pool_registry("pool:elim:elim"), std::invalid_argument);
+  EXPECT_THROW(make_pool_registry("pool:elim:65536"), std::invalid_argument);
 }
 
 TEST(PoolRegistry, AdaptiveSpecBuildsAdaptivePools) {
